@@ -1,0 +1,75 @@
+"""Ablation X4 — cooling de-staging speed (Section 9's operational lever).
+
+The paper: "the higher PUE experienced on the high-magnitude falling edges
+revealed potential parameter tunings ... to the control system that stages
+and de-stages cooling capacity."  This ablation sweeps the plant's
+de-staging time constant and measures the energy the facility wastes
+cooling load that is no longer there after large falling edges.
+"""
+
+import numpy as np
+
+from benchutil import emit
+from repro.config import SUMMIT
+from repro.cooling import CentralEnergyPlant, Weather
+from repro.core.report import render_table
+
+
+def synthetic_swinging_load(dt: float = 10.0, hours: float = 6.0):
+    """A load with repeated large rising/falling edges (worst case for
+    de-staging): 8 MW plateaus dropping to 4 MW every 30 minutes."""
+    t = np.arange(0.0, hours * 3600.0, dt)
+    phase = (t // 1800.0) % 2
+    power = np.where(phase == 0, 8e6, 4e6)
+    return t, power
+
+
+def run_ablation():
+    weather = Weather(0)
+    t, power = synthetic_swinging_load()
+    # run in summer so chillers participate (the expensive case)
+    t_summer = t + 205 * 86_400.0
+
+    results = {}
+    for tau_down in (180.0, 120.0, 60.0, 45.0):
+        plant = CentralEnergyPlant(SUMMIT, weather)
+        plant.TAU_DOWN_S = tau_down
+        st = plant.simulate(t_summer, power)
+        overhead_kwh = float(st.overhead_w.sum() * (t[1] - t[0]) / 3.6e6)
+        # overcooling: capacity above the instantaneous load
+        over = np.maximum((st.tower_tons + st.chiller_tons) * 3517.0 - power, 0.0)
+        over_kwh = float(over.sum() * (t[1] - t[0]) / 3.6e6)
+        results[tau_down] = {
+            "pue": float(st.pue.mean()),
+            "overhead_kwh": overhead_kwh,
+            "overcool_kwh": over_kwh,
+        }
+    return results
+
+
+def test_ablation_destaging(benchmark):
+    results = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    rows = [
+        [f"{tau:.0f} s", f"{d['pue']:.4f}", f"{d['overhead_kwh']:.0f}",
+         f"{d['overcool_kwh']:.0f}"]
+        for tau, d in sorted(results.items(), reverse=True)
+    ]
+    emit("ablation_destaging", render_table(
+        ["de-staging tau", "mean PUE", "facility overhead (kWh)",
+         "overcooled heat (kWh)"],
+        rows,
+        title=(
+            "Ablation X4: de-staging time constant under a 4<->8 MW "
+            "swinging load (summer)"
+        ),
+    ))
+
+    taus = sorted(results)
+    # faster de-staging strictly reduces overcooling
+    over = [results[tau]["overcool_kwh"] for tau in taus]
+    assert all(a <= b + 1e-6 for a, b in zip(over, over[1:]))
+    # and buys real facility energy on a swinging load
+    slow = results[max(taus)]
+    fast = results[min(taus)]
+    assert fast["overhead_kwh"] < slow["overhead_kwh"]
+    assert fast["pue"] <= slow["pue"] + 1e-9

@@ -1,0 +1,65 @@
+"""Figure 5 — Summit power and energy trends over the year.
+
+Weekly boxplots of cluster power and PUE across the twin year, with the
+February maintenance (forced chillers) reproduced.
+"""
+
+import numpy as np
+
+from benchutil import anchor, emit, to_mw_equiv
+from repro.core.pue import weekly_summary
+from repro.core.report import render_series, render_table, sparkline
+
+
+def run_year(twin_year):
+    dt = 120.0
+    times, power = twin_year.cluster_power(dt=dt)
+    # February cooling-tower maintenance: forced 100% chilled water for a week
+    feb = (times >= 35 * 86_400.0) & (times < 42 * 86_400.0)
+    st = twin_year.plant.simulate(times, power, chiller_forced=feb.astype(float))
+    weekly_power = weekly_summary(times, power, extra_max=power)
+    weekly_pue = weekly_summary(times, st.pue)
+    return times, power, st, weekly_power, weekly_pue, feb
+
+
+def test_fig05_year_trend(benchmark, twin_year):
+    times, power, st, wk_p, wk_pue, feb = benchmark.pedantic(
+        run_year, args=(twin_year,), rounds=1, iterations=1
+    )
+    mw = to_mw_equiv(power, twin_year)
+    summer = twin_year.weather.summer_mask(times)
+
+    lines = [
+        "Figure 5: Summit power and energy trends (twin year, full-scale MW equivalent)",
+        render_series("cluster power (MW eq.)", mw, "MW"),
+        render_series("weekly median power", to_mw_equiv(wk_p["median"], twin_year), "MW"),
+        render_series("weekly max power", to_mw_equiv(wk_p["week_max_extra"], twin_year), "MW"),
+        render_series("PUE (weekly median)", wk_pue["median"]),
+        render_series("chiller tons", st.chiller_tons),
+        "",
+        f"annual PUE {st.pue.mean():.3f} (paper 1.11) | "
+        f"summer PUE {st.pue[summer].mean():.3f} (paper 1.22) | "
+        f"Feb maintenance PUE {st.pue[feb].mean():.3f} (paper ~1.3)",
+        f"power: mean {mw.mean():.2f} MW | idle floor {mw.min():.2f} MW | "
+        f"peak {mw.max():.2f} MW (paper: 5-6 / 2.5 / 13 MW)",
+    ]
+    emit("fig05_year_trend", "\n".join(lines))
+
+    # power envelope: mean in the 5-6 MW band (full-scale equivalent),
+    # idle floor ~2.5 MW, peaks reaching toward 13 MW
+    anchor(4.0 < mw.mean() < 7.5, f"mean power in band (got {mw.mean():.2f} MW)")
+    # the maintenance drains periodically pull the system toward its idle
+    # floor: the minimum approaches 2.5 MW equivalent, repeatedly
+    assert mw.min() < 3.4
+    below = mw < 0.6 * mw.mean()
+    runs = np.flatnonzero(np.diff(below.astype(int)) == 1)
+    anchor(len(runs) >= 5,
+           f"repeated idle-touching dips across the year (got {len(runs)})")
+    anchor(mw.max() > 8.0, f"peaks approach 13 MW (got {mw.max():.2f} MW)")
+    # PUE seasonality
+    assert 1.08 < st.pue.mean() < 1.17
+    assert st.pue[summer].mean() > st.pue[~summer & ~feb].mean() + 0.04
+    # the maintenance spike is the largest weekly PUE excursion
+    assert st.pue[feb].mean() > 1.22
+    # weekly summaries cover the year
+    assert wk_p.n_rows >= 52

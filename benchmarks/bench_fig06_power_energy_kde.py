@@ -1,0 +1,91 @@
+"""Figure 6 — joint distribution of job energy vs maximum input power per
+scheduling class (Gaussian KDE in log-log space)."""
+
+import numpy as np
+
+from benchutil import anchor, emit, full_scale_ratio
+from repro.core.density import kde_2d, modality_count_2d
+from repro.core.report import render_table
+from repro.frame.join import join
+
+
+def run_kdes(twin_jobs, job_meta, job_energy):
+    t = join(job_meta, job_energy.select(["allocation_id", "energy"]),
+             "allocation_id", how="inner")
+    out = {}
+    for cls in (1, 2, 3, 4, 5):
+        sub = t.filter(t["sched_class"] == cls)
+        if sub.n_rows < 5:
+            continue
+        kde = kde_2d(sub["energy"], sub["max_sum_inp"], n_grid=48,
+                     log_x=True, log_y=True)
+        out[cls] = {
+            "n": sub.n_rows,
+            "kde": kde,
+            "energy": sub["energy"],
+            "max_power": sub["max_sum_inp"],
+            "modality": modality_count_2d(kde["density"]),
+        }
+    return out
+
+
+def test_fig06_power_energy_kde(benchmark, twin_jobs, job_meta_jobs, job_energy_jobs):
+    out = benchmark.pedantic(
+        run_kdes, args=(twin_jobs, job_meta_jobs, job_energy_jobs),
+        rounds=1, iterations=1,
+    )
+    ratio = full_scale_ratio(twin_jobs)
+    rows = []
+    for cls, d in sorted(out.items()):
+        rows.append([
+            cls, d["n"],
+            f"{np.median(d['max_power']) * ratio / 1e6:.2f}",
+            f"{np.max(d['max_power']) * ratio / 1e6:.2f}",
+            f"{np.log10(np.median(d['energy'])):.1f}",
+            f"{np.log10(np.max(d['energy'])):.1f}",
+            d["modality"],
+        ])
+    emit("fig06_power_energy_kde", render_table(
+        ["class", "jobs", "median maxP (MW eq)", "max maxP (MW eq)",
+         "log10 median E (J)", "log10 max E (J)", "2D density modes"],
+        rows,
+        title="Figure 6: job energy vs max input power per scheduling class",
+    ))
+
+    # max power separates the classes with minimal overlap: the median max
+    # power decreases monotonically from class 1 to class 5, by orders of
+    # magnitude end to end
+    medians = [np.median(out[c]["max_power"]) for c in sorted(out)]
+    anchor(all(a > b for a, b in zip(medians, medians[1:])),
+           "median max power decreases monotonically across classes")
+    anchor(medians[0] / medians[-1] > 50.0,
+           "classes separated by orders of magnitude in max power")
+
+    # energy ranges overlap broadly: every adjacent class pair overlaps
+    # (the paper's class-5..class-2 overlap needs class 5's full 45-node
+    # span, which a scaled twin compresses to 1-2 nodes; adjacent overlap
+    # is the scale-free form of the same statement)
+    classes = sorted(out)
+    for a, b in zip(classes, classes[1:]):
+        anchor(
+            np.quantile(out[b]["energy"], 0.95)
+            > np.quantile(out[a]["energy"], 0.05),
+            f"energy ranges of classes {a} and {b} overlap",
+        )
+
+    # small classes show several high-density regions in the 2-D density
+    # (popular round node counts x typical energies); large classes
+    # concentrate into fewer peaks (paper: "Classes 3-5 have many small
+    # contour rings ... the large-scale classes have few")
+    small_modes = sum(out[c]["modality"] for c in (3, 4, 5) if c in out)
+    big_modes = [out[c]["modality"] for c in (1, 2) if c in out]
+    anchor(any(out[c]["modality"] >= 2 for c in (3, 4, 5) if c in out),
+           "small classes multi-modal in the energy-power density")
+    if big_modes:
+        anchor(max(big_modes) <= max(
+            out[c]["modality"] for c in (3, 4, 5) if c in out
+        ), "large classes concentrate into fewer peaks")
+
+    # densities are normalized fields with structure
+    for d in out.values():
+        assert d["kde"]["density"].max() > 0

@@ -1,0 +1,83 @@
+"""Figure 7 — CDFs of leadership-class job features.
+
+For classes 1 and 2: node count, wall time, mean power, max power, and the
+max-mean power difference, with the paper's 80th-percentile anchors.
+"""
+
+import numpy as np
+
+from benchutil import anchor, emit, full_scale_ratio
+from repro.core.density import quantiles
+from repro.core.report import render_cdf_quantiles
+
+
+def collect_features(job_meta):
+    out = {}
+    for cls in (1, 2):
+        sub = job_meta.filter(job_meta["sched_class"] == cls)
+        out[cls] = {
+            "node_count": sub["node_count"].astype(float),
+            "walltime_h": sub["walltime_s"] / 3600.0,
+            "mean_power": sub["mean_sum_inp"],
+            "max_power": sub["max_sum_inp"],
+            "diff_power": sub["max_sum_inp"] - sub["mean_sum_inp"],
+        }
+    return out
+
+
+def test_fig07_job_cdfs(benchmark, twin_jobs, job_meta_jobs):
+    feats = benchmark.pedantic(
+        collect_features, args=(job_meta_jobs,), rounds=1, iterations=1
+    )
+    ratio = full_scale_ratio(twin_jobs)
+    cfg = twin_jobs.config
+    classes = {c.index: c for c in cfg.scheduling_classes()}
+
+    lines = ["Figure 7: CDFs of job features (classes 1 and 2)"]
+    for cls in (1, 2):
+        f = feats[cls]
+        lines.append(f"-- class {cls} ({len(f['node_count'])} jobs) --")
+        lines.append(render_cdf_quantiles("num nodes", f["node_count"]))
+        lines.append(render_cdf_quantiles("wall time (h)", f["walltime_h"]))
+        lines.append(render_cdf_quantiles(
+            "mean power (MW eq)", f["mean_power"] * ratio / 1e6))
+        lines.append(render_cdf_quantiles(
+            "max power (MW eq)", f["max_power"] * ratio / 1e6))
+        lines.append(render_cdf_quantiles(
+            "max-mean (MW eq)", f["diff_power"] * ratio / 1e6))
+    emit("fig07_job_cdfs", "\n".join(lines))
+
+    c1, c2 = feats[1], feats[2]
+    hi1 = classes[1].max_nodes
+
+    # class 1: >60% of jobs in the upper node band; class 2: 80% below the
+    # "1500 of 2764" analogue
+    anchor((c1["node_count"] > 0.85 * hi1).mean() > 0.55,
+           "class 1 concentrated in the upper node band")
+    frac_1500 = (1500 - 922) / (2764 - 922)
+    cls2 = classes[2]
+    c2_cut = cls2.min_nodes + frac_1500 * (cls2.max_nodes - cls2.min_nodes)
+    anchor((c2["node_count"] < c2_cut).mean() > 0.65,
+           "80% of class 2 below the 1500-node analogue")
+
+    # walltime: 80% of class 1 under ~43 min; class 2 under ~3 h; class 2
+    # runs longer than class 1
+    anchor(np.quantile(c1["walltime_h"], 0.8) < 1.1,
+           "class 1 p80 walltime under ~1 h (paper: 43 min)")
+    anchor(1.5 < np.quantile(c2["walltime_h"], 0.8) < 5.0,
+           "class 2 p80 walltime near 3 h")
+    anchor(np.quantile(c2["walltime_h"], 0.8) > np.quantile(c1["walltime_h"], 0.8),
+           "class 2 runs longer than class 1")
+
+    # max power: p80 ratio between classes ~4x (paper: 6.6 vs 1.6 MW), and
+    # extremes reach much higher (paper: 10.7 vs 5.6 MW)
+    p80_1 = np.quantile(c1["max_power"], 0.8) * ratio / 1e6
+    p80_2 = np.quantile(c2["max_power"], 0.8) * ratio / 1e6
+    anchor(4.0 < p80_1 < 9.5, f"class 1 p80 max power ~6.6 MW (got {p80_1:.1f})")
+    anchor(0.8 < p80_2 < 3.2, f"class 2 p80 max power ~1.6 MW (got {p80_2:.1f})")
+    anchor(c1["max_power"].max() * ratio / 1e6 > 8.0,
+           "largest class 1 job approaches 10.7 MW")
+
+    # max-mean difference varies more for class 1 than class 2
+    anchor(c1["diff_power"].std() > c2["diff_power"].std(),
+           "class 1 max-mean spread exceeds class 2's")

@@ -1,0 +1,60 @@
+"""Figure 8 — job max power and energy broken down by science domain
+(leadership classes), as boxplot statistics."""
+
+import numpy as np
+
+from benchutil import anchor, emit, full_scale_ratio
+from repro.core.density import boxplot_stats
+from repro.core.report import render_table
+from repro.frame.join import join
+
+
+def domain_breakdown(job_meta, job_energy, classes=(1, 2)):
+    t = join(job_meta, job_energy.select(["allocation_id", "energy"]),
+             "allocation_id", how="inner")
+    mask = np.isin(t["sched_class"], classes)
+    t = t.filter(mask)
+    out = {}
+    for dom in np.unique(t["domain"]):
+        sub = t.filter(t["domain"] == dom)
+        if sub.n_rows < 3:
+            continue
+        out[str(dom)] = {
+            "n": sub.n_rows,
+            "power": boxplot_stats(sub["max_sum_inp"]),
+            "energy": boxplot_stats(np.log10(np.maximum(sub["energy"], 1.0))),
+        }
+    return out
+
+
+def test_fig08_domain_breakdown(benchmark, twin_jobs, job_meta_jobs, job_energy_jobs):
+    out = benchmark.pedantic(
+        domain_breakdown, args=(job_meta_jobs, job_energy_jobs),
+        rounds=1, iterations=1,
+    )
+    ratio = full_scale_ratio(twin_jobs)
+    rows = []
+    for dom, d in sorted(out.items(), key=lambda kv: -kv[1]["power"]["median"]):
+        rows.append([
+            dom, d["n"],
+            f"{d['power']['median'] * ratio / 1e6:.2f}",
+            f"{d['power']['q1'] * ratio / 1e6:.2f}-{d['power']['q3'] * ratio / 1e6:.2f}",
+            f"{d['energy']['median']:.1f}",
+            f"{d['energy']['q1']:.1f}-{d['energy']['q3']:.1f}",
+        ])
+    emit("fig08_domains", render_table(
+        ["domain", "jobs", "median maxP (MW eq)", "P IQR (MW eq)",
+         "median log10 E", "E IQR (log10 J)"],
+        rows,
+        title="Figure 8: leadership-class power/energy by science domain",
+    ))
+
+    anchor(len(out) >= 6, "a broad domain portfolio is represented")
+    # domain-dependent spread: the hottest domain's median max power is
+    # well above the coolest's (paper: visible variation across domains)
+    medians = [d["power"]["median"] for d in out.values()]
+    anchor(max(medians) > 1.6 * min(medians),
+           "median max power varies across domains")
+    # energy spans orders of magnitude within domains (run-time artifact)
+    spans = [d["energy"]["q3"] - d["energy"]["q1"] for d in out.values()]
+    anchor(max(spans) > 0.4, "energy spans decades within domains")

@@ -1,0 +1,72 @@
+"""Figure 9 — joint distribution of per-node CPU vs GPU power across jobs,
+for mean and maximum values, leadership vs small classes."""
+
+import numpy as np
+
+from benchutil import emit
+from repro.core import job_component_summary
+from repro.core.density import kde_2d
+from repro.core.report import render_table
+from repro.frame.join import join
+
+
+def run_component_kdes(twin_jobs, job_series_components):
+    summ = job_component_summary(job_series_components)
+    cat = twin_jobs.catalog.table.select(["allocation_id", "sched_class"])
+    t = join(summ, cat, "allocation_id", how="inner")
+    groups = {
+        "leadership": t.filter(t["sched_class"] <= 2),
+        "small": t.filter(t["sched_class"] >= 3),
+    }
+    out = {}
+    for name, sub in groups.items():
+        out[name] = {
+            "n": sub.n_rows,
+            "mean_cpu": sub["mean_mean_cpu_pwr"],
+            "mean_gpu": sub["mean_mean_gpu_pwr"],
+            "max_cpu": sub["max_cpu_pwr"],
+            "max_gpu": sub["max_gpu_pwr"],
+            "kde_mean": kde_2d(sub["mean_mean_cpu_pwr"], sub["mean_mean_gpu_pwr"], n_grid=40),
+            "kde_max": kde_2d(sub["max_cpu_pwr"], sub["max_gpu_pwr"], n_grid=40),
+        }
+    return out
+
+
+def test_fig09_cpu_gpu_power(benchmark, twin_jobs, job_series_components_jobs):
+    out = benchmark.pedantic(
+        run_component_kdes, args=(twin_jobs, job_series_components_jobs),
+        rounds=1, iterations=1,
+    )
+    cfg = twin_jobs.config
+    rows = []
+    for name, d in out.items():
+        rows.append([
+            name, d["n"],
+            f"{np.median(d['mean_cpu']):.0f}", f"{np.median(d['mean_gpu']):.0f}",
+            f"{np.median(d['max_cpu']):.0f}", f"{np.median(d['max_gpu']):.0f}",
+        ])
+    emit("fig09_cpu_gpu", render_table(
+        ["class group", "jobs", "med mean CPU (W/node)", "med mean GPU (W/node)",
+         "med max CPU (W/node)", "med max GPU (W/node)"],
+        rows,
+        title="Figure 9: per-node CPU vs GPU power across jobs",
+    ))
+
+    for name, d in out.items():
+        cpu, gpu = d["mean_cpu"], d["mean_gpu"]
+        # density hugs the axes: jobs are either GPU-focused (low CPU) or
+        # CPU-focused (low GPU).  Quantify via the fraction of jobs near
+        # an axis vs jobs high in both.
+        cpu_hi = cpu > 0.55 * cfg.cpus_per_node * cfg.cpu_tdp_w
+        gpu_hi = gpu > 0.55 * cfg.gpus_per_node * cfg.gpu_tdp_w
+        both_hi = (cpu_hi & gpu_hi).mean()
+        one_sided = (cpu_hi ^ gpu_hi).mean()
+        assert both_hi < 0.05, name     # sparse upper-right corner
+        assert one_sided > 0.10, name   # mass along the axes
+
+    # max plots spread farther up the GPU axis than mean plots
+    assert np.quantile(out["small"]["max_gpu"], 0.9) > np.quantile(
+        out["small"]["mean_gpu"], 0.9
+    )
+    # GPUs define the peak: the GPU axis reaches much higher than CPU's
+    assert out["leadership"]["max_gpu"].max() > 2.0 * out["leadership"]["max_cpu"].max()

@@ -1,0 +1,103 @@
+"""Figure 10 — power consumption dynamics: edge counts and durations per
+class, and the differenced-FFT frequency/amplitude distributions."""
+
+import numpy as np
+
+from benchutil import anchor, emit
+from repro.core.edges import edges_per_job
+from repro.core.report import render_cdf_quantiles, render_table
+from repro.core.spectral import job_spectral_summary
+from repro.frame.join import join
+
+
+def per_node_counts(spectral, job_series):
+    """Node count per job, aligned with the spectral summary rows."""
+    lookup = {
+        int(i): int(c)
+        for i, c in zip(job_series["allocation_id"], job_series["count_hostname"])
+    }
+    return np.array([lookup.get(int(i), 1) for i in spectral["allocation_id"]])
+
+
+def run_dynamics(twin_jobs, job_series):
+    edges, per_job = edges_per_job(job_series)
+    spectral = job_spectral_summary(job_series)
+    cat = twin_jobs.catalog.table.select(["allocation_id", "sched_class"])
+    per_job = join(per_job, cat, "allocation_id", how="inner")
+    edges = join(edges, cat, "allocation_id", how="inner")
+    spectral = join(spectral, cat, "allocation_id", how="inner")
+    return edges, per_job, spectral
+
+
+def test_fig10_power_dynamics(benchmark, twin_jobs, job_series_jobs):
+    edges, per_job, spectral = benchmark.pedantic(
+        run_dynamics, args=(twin_jobs, job_series_jobs), rounds=1, iterations=1
+    )
+
+    edge_free = (per_job["n_edges"] == 0).mean()
+    lines = [
+        "Figure 10: power consumption dynamics",
+        f"jobs with no edges: {edge_free:.1%} (paper: 96.9%)",
+        "",
+    ]
+    rows = []
+    for cls in (1, 2, 3, 4, 5):
+        pj = per_job.filter(per_job["sched_class"] == cls)
+        ej = edges.filter(edges["sched_class"] == cls)
+        with_edges = pj.filter(pj["n_edges"] > 0)
+        med_edges = (
+            float(np.median(with_edges["n_edges"])) if with_edges.n_rows else 0.0
+        )
+        med_dur = (
+            float(np.median(ej["duration_s"]) / 60.0) if ej.n_rows else float("nan")
+        )
+        rows.append([
+            cls, pj.n_rows, with_edges.n_rows, med_edges,
+            f"{med_dur:.1f}" if np.isfinite(med_dur) else "-",
+        ])
+    lines.append(render_table(
+        ["class", "jobs", "jobs w/ edges", "median edges/job",
+         "median edge duration (min)"],
+        rows,
+    ))
+    f = spectral["fft_freq_hz"]
+    a = spectral["fft_amplitude_w"]
+    ok = np.isfinite(f) & (f > 0)
+    lines.append("")
+    lines.append(render_cdf_quantiles("FFT dominant freq (Hz)", f[ok]))
+    lines.append(render_cdf_quantiles("FFT dominant period (s)", 1.0 / f[ok]))
+    lines.append(render_cdf_quantiles("FFT amplitude (W)", a[ok]))
+    emit("fig10_dynamics", "\n".join(lines))
+
+    # the large majority of jobs see no edges (paper: 96.9%)
+    assert edge_free > 0.85
+
+    # class 4 jobs experience the most edges among jobs that have any
+    med_by_class = {}
+    for cls in (1, 3, 4, 5):
+        pj = per_job.filter(
+            (per_job["sched_class"] == cls) & (per_job["n_edges"] > 0)
+        )
+        if pj.n_rows:
+            med_by_class[cls] = float(np.mean(pj["n_edges"]))
+    if 4 in med_by_class and 1 in med_by_class:
+        assert med_by_class[4] >= med_by_class[1]
+
+    # class 1 edges are more sustained than class 4's (short bursts)
+    d1 = edges.filter(edges["sched_class"] == 1)["duration_s"]
+    d4 = edges.filter(edges["sched_class"] == 4)["duration_s"]
+    if len(d1) >= 5 and len(d4) >= 5:
+        assert np.median(d1) > np.median(d4)
+
+    # spectral shape: among jobs with a significant dominant swing
+    # (>50 W/node), the modal period straddles ~200 s with a taper toward
+    # 0.05 Hz
+    per_node_amp = a / np.maximum(per_node_counts(spectral, job_series_jobs), 1)
+    sig = ok & (per_node_amp > 50.0)
+    periods = 1.0 / f[sig]
+    hist, _ = np.histogram(periods, bins=[0, 50, 100, 150, 250, 400, 1000, 1e9])
+    anchor(hist.argmax() in (2, 3), "modal dominant period near 200 s")
+    # amplitudes skew low with a heavy right tail
+    amp = a[ok & (a > 0)]
+    anchor(np.median(amp) < 0.25 * np.quantile(amp, 0.99),
+           "amplitude distribution skews low with a heavy tail")

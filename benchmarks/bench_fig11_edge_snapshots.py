@@ -1,0 +1,84 @@
+"""Figure 11 — superimposed snapshots of summer rising edges per 1 MW
+amplitude class, with the PUE response."""
+
+import numpy as np
+
+from benchutil import anchor, emit, full_scale_ratio, to_mw_equiv
+from repro.core.edges import amplitude_class_mw, detect_edges, extract_snapshot, superimpose
+from repro.core.report import render_series, render_table
+
+
+def run_snapshots(twin_summer):
+    dt = 10.0
+    times, power = twin_summer.cluster_power(dt=dt)
+    st = twin_summer.plant.simulate(times + twin_summer.spec.start_time, power)
+
+    # edge threshold: the paper's 868 W/node over the whole machine
+    thr = twin_summer.config.edge_threshold_w_per_node * twin_summer.config.n_nodes
+    # detect at any amplitude >= ~0.25 MW-equivalent so the 1 MW bin fills
+    ratio = full_scale_ratio(twin_summer)
+    edges = detect_edges(times, power, threshold_w=0.25e6 / ratio)
+    rising = edges.filter(edges["direction"] == 1)
+
+    amp_mw = amplitude_class_mw(rising["amplitude_w"] * ratio)
+    before, after = 60.0, 240.0
+    by_class: dict[int, dict] = {}
+    for mw in range(1, 8):
+        sel = amp_mw == mw
+        if not sel.any():
+            continue
+        snaps_p, snaps_pue = [], []
+        for t_edge in rising["time"][sel]:
+            snaps_p.append(extract_snapshot(times, power, t_edge, before, after))
+            snaps_pue.append(extract_snapshot(times, st.pue, t_edge, before, after))
+        by_class[mw] = {
+            "count": int(sel.sum()),
+            "power": superimpose(np.array(snaps_p)),
+            "pue": superimpose(np.array(snaps_pue)),
+        }
+    return by_class, thr
+
+
+def test_fig11_edge_snapshots(benchmark, twin_summer):
+    by_class, thr = benchmark.pedantic(
+        run_snapshots, args=(twin_summer,), rounds=1, iterations=1
+    )
+    lines = ["Figure 11: summer rising-edge snapshots per 1 MW amplitude class",
+             "(full-scale MW equivalent; aligned at the edge, -1 min .. +4 min)",
+             ""]
+    header = "  ".join(f"{mw}MW - {d['count']}" for mw, d in sorted(by_class.items()))
+    lines.append("amplitude class - snapshot count: " + header)
+    for mw, d in sorted(by_class.items()):
+        lines.append(render_series(
+            f"{mw}MW power (mean of {d['count']})",
+            to_mw_equiv(d["power"]["mean"], twin_summer), "MW"))
+        lines.append(render_series(f"{mw}MW PUE", d["pue"]["mean"]))
+    emit("fig11_edge_snapshots", "\n".join(lines))
+
+    anchor(len(by_class) >= 3, "several MW amplitude classes observed")
+    # small edges are far more frequent than huge ones (paper: 96 x 1MW vs
+    # 4 x 7MW during the summer window)
+    if 1 in by_class:
+        biggest = max(by_class)
+        anchor(by_class[1]["count"] > by_class[biggest]["count"],
+               "1 MW edges outnumber the largest class")
+
+    # the transition is violent: within the first minute after the edge the
+    # mean snapshot climbs by most of its class amplitude
+    for mw, d in sorted(by_class.items()):
+        m = d["power"]["mean"]
+        pre = np.nanmean(m[:5])
+        post = np.nanmax(m[6: 6 + 12])  # within ~2 min after the edge
+        rise_mw = to_mw_equiv(post - pre, twin_summer)
+        anchor(rise_mw > 0.5 * mw, f"{mw}MW class rises by most of its bin")
+
+    # PUE responds inversely to power around the edge
+    for mw, d in sorted(by_class.items()):
+        if d["count"] < 3:
+            continue
+        p = d["power"]["mean"]
+        q = d["pue"]["mean"]
+        okm = np.isfinite(p) & np.isfinite(q)
+        if okm.sum() > 10 and np.std(p[okm]) > 0:
+            corr = np.corrcoef(p[okm], q[okm])[0, 1]
+            anchor(corr < -0.2, f"PUE inversely tracks power ({mw}MW class)")

@@ -1,0 +1,152 @@
+"""Figure 12 — component temperatures and cooling-plant response around
+large rising and falling edges (summer)."""
+
+import numpy as np
+
+from benchutil import anchor, emit, full_scale_ratio, to_mw_equiv
+from repro.core.edges import detect_edges, extract_snapshot, superimpose
+from repro.core.lag import estimate_lag_s
+from repro.core.report import render_series
+
+
+def run_thermal_response(twin_summer):
+    dt = 10.0
+    cfg = twin_summer.config
+    times, power = twin_summer.cluster_power(dt=dt)
+    st = twin_summer.plant.simulate(times + twin_summer.spec.start_time, power)
+    ratio = full_scale_ratio(twin_summer)
+
+    # measured staging lag over the whole window (the "roughly one minute")
+    tons_w = (st.tower_tons + st.chiller_tons) * 3517.0
+    staging_lag_s, staging_corr = estimate_lag_s(
+        power, tons_w, dt=dt, max_lag_s=600.0
+    )
+
+    # edges of >= ~3 MW full-scale equivalent
+    edges = detect_edges(times, power, threshold_w=3.0e6 / ratio)
+    nodes = np.arange(cfg.n_nodes)
+
+    before, after = 60.0, 240.0
+
+    def window_components(t_edge):
+        t0 = max(0.0, t_edge - before)
+        t1 = min(times[-1], t_edge + after)
+        arr = twin_summer.builder.build(t0, t1 + dt, dt, per_gpu=True)
+        i0 = int(np.searchsorted(st.times - twin_summer.spec.start_time, t0))
+        supply = st.mtw_supply_c[i0: i0 + arr.n_times]
+        supply = np.resize(supply, arr.n_times)
+        gpu_t = twin_summer.thermal.gpu_temperature(nodes, arr.gpu_power_w, supply, dt)
+        cpu_power = arr.node_cpu_w[:, None, :] / cfg.cpus_per_node
+        cpu_t = twin_summer.thermal.cpu_temperature(
+            nodes, np.repeat(cpu_power, cfg.cpus_per_node, axis=1), supply, dt
+        )
+        return {
+            "gpu_mean": gpu_t.mean(axis=(0, 1)),
+            "gpu_max": gpu_t.max(axis=(0, 1)),
+            "cpu_mean": cpu_t.mean(axis=(0, 1)),
+            "cpu_max": cpu_t.max(axis=(0, 1)),
+            "times": arr.times,
+        }
+
+    out = {}
+    for direction, name in ((1, "rising"), (-1, "falling")):
+        sel = edges.filter(edges["direction"] == direction)
+        snaps: dict[str, list] = {k: [] for k in (
+            "power", "pue", "gpu_mean", "gpu_max", "cpu_mean", "cpu_max",
+            "mtw_return", "mtw_supply", "tons",
+        )}
+        count = 0
+        for i in range(min(sel.n_rows, 6)):  # a handful of edges suffices
+            t_edge = float(sel["time"][i])
+            comp = window_components(t_edge)
+            grid = comp["times"]
+            for key in ("gpu_mean", "gpu_max", "cpu_mean", "cpu_max"):
+                snaps[key].append(
+                    extract_snapshot(grid, comp[key], t_edge, before, after)
+                )
+            snaps["power"].append(extract_snapshot(times, power, t_edge, before, after))
+            snaps["pue"].append(extract_snapshot(times, st.pue, t_edge, before, after))
+            snaps["mtw_return"].append(
+                extract_snapshot(times, st.mtw_return_c, t_edge, before, after))
+            snaps["mtw_supply"].append(
+                extract_snapshot(times, st.mtw_supply_c, t_edge, before, after))
+            snaps["tons"].append(extract_snapshot(
+                times, st.tower_tons + st.chiller_tons, t_edge, before, after))
+            count += 1
+        if count:
+            out[name] = {
+                "count": count,
+                **{k: superimpose(np.array(v)) for k, v in snaps.items()},
+            }
+    return out, staging_lag_s, staging_corr
+
+
+def test_fig12_thermal_response(benchmark, twin_summer):
+    out, staging_lag_s, staging_corr = benchmark.pedantic(
+        run_thermal_response, args=(twin_summer,), rounds=1, iterations=1
+    )
+    lines = ["Figure 12: component temperatures and cooling response at edges",
+             "(-1 min .. +4 min around each edge; summer twin)",
+             f"measured staging lag: {staging_lag_s:.0f} s "
+             f"(corr {staging_corr:.2f}; paper: 'roughly one minute')", ""]
+    for name, d in out.items():
+        lines.append(f"-- {name} edges (n={d['count']}) --")
+        lines.append(render_series("power (MW eq)",
+                                   to_mw_equiv(d["power"]["mean"], twin_summer), "MW"))
+        lines.append(render_series("PUE", d["pue"]["mean"]))
+        lines.append(render_series("GPU temp mean (C)", d["gpu_mean"]["mean"]))
+        lines.append(render_series("GPU temp max (C)", d["gpu_max"]["mean"]))
+        lines.append(render_series("CPU temp mean (C)", d["cpu_mean"]["mean"]))
+        lines.append(render_series("MTW return (C)", d["mtw_return"]["mean"]))
+        lines.append(render_series("MTW supply (C)", d["mtw_supply"]["mean"]))
+        lines.append(render_series("cooling tons", d["tons"]["mean"]))
+    emit("fig12_thermal_response", "\n".join(lines))
+
+    anchor("rising" in out, "rising edges observed in the summer window")
+    # the cross-correlation lag lands near the paper's "roughly one minute"
+    if np.isfinite(staging_lag_s):
+        anchor(20.0 <= staging_lag_s <= 180.0,
+               f"staging lag ~1 minute (got {staging_lag_s:.0f} s)")
+    if "rising" not in out:
+        return
+    r = out["rising"]
+    edge_idx = 6  # -1 min of 10 s samples before the edge
+
+    # GPU temperature follows the power swing within seconds
+    gpu = r["gpu_mean"]["mean"]
+    assert np.nanmax(gpu[edge_idx:]) > np.nanmean(gpu[:edge_idx]) + 2.0
+
+    # CPU temperature stays comparatively flat
+    cpu = r["cpu_mean"]["mean"]
+    gpu_swing = np.nanmax(gpu) - np.nanmin(gpu)
+    cpu_swing = np.nanmax(cpu) - np.nanmin(cpu)
+    assert gpu_swing > 2.0 * cpu_swing
+
+    # the cooling response lags the load by about a minute: tons have moved
+    # little 30 s after the edge but clearly after 3 minutes
+    tons = r["tons"]["mean"]
+    base = np.nanmean(tons[:edge_idx])
+    final = np.nanmean(tons[-6:])
+    if final > base:
+        t30 = tons[edge_idx + 3]
+        t180 = tons[edge_idx + 18]
+        assert (t30 - base) < 0.5 * (final - base)
+        assert (t180 - base) > 0.4 * (final - base)
+
+    # MTW return temperature rises with the load; supply stays near setpoint
+    ret = r["mtw_return"]["mean"]
+    sup = r["mtw_supply"]["mean"]
+    assert np.nanmax(ret[edge_idx:]) > np.nanmean(ret[:edge_idx]) + 0.3
+    assert (np.nanmax(sup) - np.nanmin(sup)) < (np.nanmax(ret) - np.nanmin(ret))
+
+    # falling edges de-stage more slowly than rising edges stage
+    if "falling" in out:
+        f = out["falling"]
+        tons_f = f["tons"]["mean"]
+        base_f = np.nanmean(tons_f[:edge_idx])
+        final_f = np.nanmean(tons_f[-6:])
+        if final > base and base_f > final_f:
+            prog_up = (tons[edge_idx + 12] - base) / max(final - base, 1e-9)
+            prog_dn = (base_f - tons_f[edge_idx + 12]) / max(base_f - final_f, 1e-9)
+            anchor(prog_up > prog_dn,
+                   "staging is faster than de-staging (2 min after the edge)")

@@ -1,0 +1,64 @@
+"""Figure 13 — GPU failure co-occurrence: Pearson correlation of per-node
+failure-count vectors, Bonferroni-corrected."""
+
+import numpy as np
+
+from benchutil import anchor, emit
+from repro.core.reliability import cooccurrence_matrix
+from repro.core.report import render_table
+from repro.failures.xid import XID_TYPES
+
+_IDX = {t.name: i for i, t in enumerate(XID_TYPES)}
+
+
+def test_fig13_cooccurrence(benchmark, twin_year):
+    out = benchmark.pedantic(
+        cooccurrence_matrix,
+        args=(twin_year.failures, twin_year.config.n_nodes),
+        rounds=1, iterations=1,
+    )
+    sig = out["significant"]
+    rows = []
+    for i in range(len(XID_TYPES)):
+        for j in range(i + 1, len(XID_TYPES)):
+            if np.isfinite(sig[i, j]):
+                rows.append([XID_TYPES[i].name, XID_TYPES[j].name,
+                             f"{sig[i, j]:.2f}"])
+    rows.sort(key=lambda r: -abs(float(r[2])))
+    emit("fig13_cooccurrence", render_table(
+        ["type A", "type B", "pearson r (significant)"],
+        rows[:20],
+        title=(
+            "Figure 13: GPU failure co-occurrence "
+            f"(alpha=0.05 Bonferroni, threshold {out['threshold']:.2e})"
+        ),
+    ))
+
+    corr = out["corr"]
+    i_mc = _IDX["Internal microcontroller warning"]
+    i_dr = _IDX["Driver error handling exception"]
+    i_db = _IDX["Double-bit error"]
+    i_pr = _IDX["Page retirement event"]
+    i_pc = _IDX["Preemptive cleanup"]
+
+    cts = twin_year.failures.counts_by_type()
+    # the headline pair: micro-controller warnings predict driver errors
+    if (cts["Internal microcontroller warning"] >= 10
+            and cts["Driver error handling exception"] >= 10):
+        anchor(corr[i_mc, i_dr] > 0.6,
+               "microcontroller warning <-> driver error strongly correlated")
+    # the page-retirement cluster
+    if cts["Double-bit error"] >= 20 and cts["Page retirement event"] >= 20:
+        anchor(corr[i_db, i_pr] > 0.15, "double-bit <-> page retirement event")
+        anchor(corr[i_db, i_pc] > 0.15, "double-bit <-> preemptive cleanup")
+
+    # uncorrelated user-error pairs stay low: memory page faults vs the
+    # driver-group defect types
+    i_mp = _IDX["Memory page fault"]
+    if np.isfinite(corr[i_mp, i_dr]):
+        anchor(abs(corr[i_mp, i_dr]) < 0.4,
+               "workload errors not tied to driver defect nodes")
+    # significance masking removes most weak pairs
+    n_sig = np.isfinite(sig).sum() - len(XID_TYPES)  # minus the diagonal
+    n_all = np.isfinite(corr).sum() - len(XID_TYPES)
+    assert n_sig <= n_all

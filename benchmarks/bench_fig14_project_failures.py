@@ -1,0 +1,65 @@
+"""Figure 14 — GPU failures per node-hour for the top-15 error-prone
+projects, all failures and hardware-only."""
+
+import numpy as np
+
+from benchutil import anchor, emit
+from repro.core.reliability import failures_per_project
+from repro.core.report import render_table
+
+
+def run_both(twin_year):
+    allf = failures_per_project(
+        twin_year.failures, twin_year.catalog, twin_year.schedule, top=15
+    )
+    hw = failures_per_project(
+        twin_year.failures, twin_year.catalog, twin_year.schedule,
+        hardware_only=True, top=15,
+    )
+    return allf, hw
+
+
+def test_fig14_project_failures(benchmark, twin_year):
+    allf, hw = benchmark.pedantic(
+        run_both, args=(twin_year,), rounds=1, iterations=1
+    )
+
+    def table_of(out, title):
+        t = out["table"]
+        rows = [
+            [str(t["project"][i]), f"{t['node_hours'][i]:.0f}",
+             int(t["n_failures"][i]), f"{t['per_node_hour'][i]:.2e}"]
+            for i in range(t.n_rows)
+        ]
+        return render_table(
+            ["project", "node-hours", "failures", "per node-hour"],
+            rows, title=title,
+        )
+
+    emit("fig14_project_failures", "\n\n".join([
+        table_of(allf, "Figure 14-(a): all failures, top-15 projects"),
+        table_of(hw, "Figure 14-(b): hardware failures, top-15 projects"),
+    ]))
+
+    ta, th = allf["table"], hw["table"]
+    anchor(ta.n_rows >= 10, "enough error-prone projects observed")
+    # strong spread across projects: the paper's Figure 14-(a) bars span
+    # roughly 4-5x *within* the top-15 (the upper tail is compressed);
+    # the full project population spans an order of magnitude
+    ra = ta["per_node_hour"]
+    if len(ra) >= 10 and ra[len(ra) - 1] > 0:
+        anchor(ra[0] / ra[len(ra) - 1] > 3.0,
+               "failure rate spreads several-fold within the top-15")
+    # hardware rates are orders of magnitude below all-failure rates
+    # (paper: ~0.2 vs ~0.0012 per node-hour scales)
+    if th.n_rows and ta.n_rows:
+        anchor(th["per_node_hour"][0] < 0.1 * ta["per_node_hour"][0],
+               "hardware failures far rarer than soft failures")
+    # the two rankings differ: defect-node luck, not workload, drives
+    # hardware failures (compare the ordered top-10 sequences — soft-error-
+    # prone projects burn many node-hours, so some set overlap is expected)
+    if th.n_rows >= 10 and ta.n_rows >= 10:
+        order_all = [str(p) for p in ta["project"][:10]]
+        order_hw = [str(p) for p in th["project"][:10]]
+        anchor(order_all != order_hw,
+               "hardware ranking differs from all-failure ranking")

@@ -1,0 +1,65 @@
+"""Figure 15 — frequency of GPU failures vs their thermal extremity
+(z-score of the offending GPU's temperature within its job)."""
+
+import numpy as np
+
+from benchutil import anchor, emit
+from repro.core.reliability import thermal_extremity
+from repro.core.report import render_table
+
+
+def test_fig15_thermal_extremity(benchmark, twin_year):
+    out = benchmark.pedantic(
+        thermal_extremity,
+        args=(twin_year.failures, twin_year.job_thermal),
+        rounds=1, iterations=1,
+    )
+    t = out["table"]
+    rows = [
+        [str(t["xid_name"][i]), int(t["n"][i]),
+         f"{t['z_skewness'][i]:.2f}" if np.isfinite(t["z_skewness"][i]) else "-",
+         f"{t['max_temp_c'][i]:.1f}" if np.isfinite(t["max_temp_c"][i]) else "-",
+         f"{t['frac_ge_60c'][i]:.1%}" if np.isfinite(t["frac_ge_60c"][i]) else "-"]
+        for i in range(t.n_rows)
+    ]
+    emit("fig15_thermal_extremity", render_table(
+        ["GPU error", "n (with temp+job)", "z skewness", "max temp (C)",
+         "frac >= 60C"],
+        rows,
+        title="Figure 15: thermal extremity of GPU failures",
+    ))
+
+    def row(name):
+        sel = t.filter(t["xid_name"] == name)
+        return {k: sel[k][0] for k in t.columns}
+
+    # almost no left skew anywhere (paper: "Almost no distributions exhibit
+    # left skewness"); graphics engine fault is the only candidate.  The
+    # sample skewness has standard error ~sqrt(6/n), so the rejection
+    # threshold widens for sparsely-populated types.
+    for i in range(t.n_rows):
+        name = str(t["xid_name"][i])
+        n = int(t["n"][i])
+        if n >= 30 and name != "Graphics engine fault":
+            floor = -0.15 - 2.0 * np.sqrt(6.0 / n)
+            anchor(t["z_skewness"][i] > floor,
+                   f"{name} not left-skewed (got {t['z_skewness'][i]:.2f}, "
+                   f"floor {floor:.2f} at n={n})")
+
+    # double-bit and off-the-bus right-skewed ("did not yet warm up")
+    for name in ("Double-bit error", "Fallen off the bus",
+                 "Internal microcontroller warning",
+                 "Page retirement failure"):
+        r = row(name)
+        if r["n"] >= 20:
+            anchor(r["z_skewness"] > 0.2, f"{name} right-skewed")
+
+    # absolute temperatures: double-bit errors cap at 46.1 C; very few
+    # failures at or above 60 C
+    r = row("Double-bit error")
+    if r["n"] > 0:
+        assert r["max_temp_c"] <= 46.1 + 1e-6
+    big = t.filter(t["n"] >= 50)
+    for i in range(big.n_rows):
+        anchor(big["frac_ge_60c"][i] < 0.10,
+               f"{big['xid_name'][i]}: few failures at >= 60 C")

@@ -1,0 +1,43 @@
+"""Table 1 — Summit system specification, printed from the model itself."""
+
+import numpy as np
+
+from benchutil import emit
+from repro.config import SUMMIT
+from repro.core.report import render_table
+from repro.machine import NodePowerModel, Topology
+
+
+def build_table1():
+    topo = Topology(SUMMIT)
+    model = NodePowerModel(SUMMIT)
+    d = topo.describe()
+    rows = [
+        ["Nodes", f"{d['nodes']:,} IBM AC922 nodes"],
+        ["Cabinets", f"{d['cabinets']} watercooled cabinets, {SUMMIT.nodes_per_cabinet} nodes each"],
+        ["GPUs / CPUs", f"{d['gpus']:,} V100 / {d['cpus']:,} Power9"],
+        ["Peak power", f"{SUMMIT.system_peak_mw:.0f} MW"],
+        ["Idle power", f"{SUMMIT.system_idle_mw:.1f} MW"],
+        ["Node max power", f"{model.peak_power():.0f} W"],
+        ["Node idle power", f"{model.idle_power():.0f} W"],
+        ["CPU TDP", f"{SUMMIT.cpu_tdp_w:.0f} W x {SUMMIT.cpus_per_node}"],
+        ["GPU TDP", f"{SUMMIT.gpu_tdp_w:.0f} W x {SUMMIT.gpus_per_node}"],
+        ["MTW supply", f"{SUMMIT.mtw_supply_f_min:.0f}-{SUMMIT.mtw_supply_f_max:.0f} F"],
+        ["MTW return", f"{SUMMIT.mtw_return_f_min:.0f}-{SUMMIT.mtw_return_f_max:.0f} F"],
+        ["Cooling towers / chillers", f"{SUMMIT.n_cooling_towers} / {SUMMIT.n_chillers}"],
+    ]
+    return d, model, rows
+
+
+def test_table1_system_spec(benchmark):
+    d, model, rows = benchmark.pedantic(build_table1, rounds=1, iterations=1)
+    emit("table1_system", render_table(
+        ["item", "value"], rows, title="Table 1: Summit system specification"
+    ))
+    # Table 1 anchors
+    assert d["nodes"] == 4626
+    assert d["cabinets"] == 257
+    assert d["gpus"] == 27_756
+    assert model.peak_power() == 2300.0          # node max power (Table 1)
+    # system envelope consistency: idle model x nodes ~ 2.5 MW
+    assert abs(model.idle_power() * d["nodes"] / 1e6 - SUMMIT.system_idle_mw) < 0.3

@@ -1,0 +1,61 @@
+"""Table 2 — data specification: per-stream row counts and footprints.
+
+The twin-year inventory is extrapolated to the full machine/year and
+compared against the paper's ordering: per-node telemetry (a) dominates by
+orders of magnitude, then per-node allocation history (d), then allocation
+history (c), CEP data (b), and the XID log (e).
+"""
+
+import numpy as np
+
+from benchutil import emit, full_scale_ratio
+from repro.config import SUMMIT
+from repro.core.report import fmt_si, render_table
+from repro.datasets import dataset_inventory
+from repro.telemetry import compression_ratio
+from repro.telemetry.schema import N_METRICS
+
+
+def build_inventory(twin_year):
+    inv = dataset_inventory(twin_year)
+    # compression ratio of a representative telemetry channel
+    arr = twin_year.builder.build(0.0, 3600.0, 1.0)
+    node0 = np.round(arr.node_input_w[0])
+    ratio = compression_ratio(node0)
+    return inv, ratio
+
+
+def test_table2_data_spec(benchmark, twin_year):
+    inv, ratio = benchmark.pedantic(
+        build_inventory, args=(twin_year,), rounds=1, iterations=1
+    )
+    scale = full_scale_ratio(twin_year)
+    rows = [
+        ["(a) per-node telemetry", inv["telemetry_rows"],
+         int(inv["telemetry_rows"] * scale),
+         f"~{N_METRICS} metrics/node @ 1 Hz; codec {ratio:.1f}x"],
+        ["(b) central energy plant", inv["plant_rows"],
+         inv["plant_rows"], "15 s cadence (machine-size independent)"],
+        ["(c) allocation history", inv["allocations_rows"],
+         int(inv["allocations_rows"] * scale), "one row per started job"],
+        ["(d) per-node allocation hist.", inv["node_allocation_rows"],
+         int(inv["node_allocation_rows"] * scale), "one row per (job, node)"],
+        ["(e) GPU XID log", inv["xid_rows"],
+         int(inv["xid_rows"] * scale / 10.0), "intensity 10x removed"],
+    ]
+    emit("table2_data", render_table(
+        ["stream", "twin rows", "full-scale rows", "notes"],
+        rows,
+        title="Table 2: data specification (twin year, extrapolated)",
+    ))
+
+    # paper's ordering: (a) >> (d) > (c) > (e); telemetry dwarfs everything
+    assert inv["telemetry_rows"] > 1000 * inv["node_allocation_rows"]
+    assert inv["node_allocation_rows"] > inv["allocations_rows"]
+    # full-scale telemetry rows land near the paper's 134B/year
+    full_rows = inv["telemetry_rows"] * scale
+    assert 0.3e11 < full_rows < 3e11
+    # the lossless codec sustains the ~1 MB/s claim: 460k metrics/s of
+    # 8-byte samples -> needs roughly >3x compression; smooth power channels
+    # deliver far more
+    assert ratio > 5.0

@@ -1,0 +1,45 @@
+"""Table 3 — Summit scheduling classes, and their realized populations."""
+
+import numpy as np
+
+from benchutil import emit
+from repro.config import SCHEDULING_CLASSES, SUMMIT
+from repro.core.report import render_table
+
+
+def realized_populations(twin_jobs):
+    cat = twin_jobs.catalog.table
+    counts = np.bincount(cat["sched_class"], minlength=6)[1:]
+    return counts
+
+
+def test_table3_scheduling_classes(benchmark, twin_jobs):
+    counts = benchmark.pedantic(
+        realized_populations, args=(twin_jobs,), rounds=1, iterations=1
+    )
+    scaled = twin_jobs.config.scheduling_classes()
+    rows = []
+    for cls, sc, n in zip(SCHEDULING_CLASSES, scaled, counts):
+        rows.append(
+            [cls.index, f"{cls.min_nodes}-{cls.max_nodes}",
+             f"{sc.min_nodes}-{sc.max_nodes}",
+             f"{cls.max_walltime_h:.0f}", int(n),
+             f"{n / counts.sum():.1%}"]
+        )
+    emit("table3_classes", render_table(
+        ["class", "node range (full)", "node range (twin)",
+         "max walltime (h)", "twin jobs", "share"],
+        rows,
+        title="Table 3: Summit scheduling policy and twin job population",
+    ))
+
+    # Table 3 policy anchors
+    assert SCHEDULING_CLASSES[0].min_nodes == 2765
+    assert SCHEDULING_CLASSES[0].max_nodes == 4608
+    assert SCHEDULING_CLASSES[-1].max_walltime_h == 2.0
+    # population shape: class 5 dominates, leadership classes are rare
+    assert counts[4] > 0.6 * counts.sum()
+    assert counts[0] < 0.05 * counts.sum()
+    # ranges are contiguous and ordered at full scale
+    for a, b in zip(SCHEDULING_CLASSES[:-1], SCHEDULING_CLASSES[1:]):
+        assert b.max_nodes == a.min_nodes - 1

@@ -1,0 +1,130 @@
+"""Shared twin deployments for the benchmark harness.
+
+Each paper experiment runs against a twin sized for it (documented in
+DESIGN.md section 4).  ``REPRO_BENCH_SCALE`` (default 1.0) scales job
+counts down for quick runs, e.g. ``REPRO_BENCH_SCALE=0.2 pytest benchmarks/``.
+
+Every benchmark prints its table/figure through ``repro.core.report`` and
+also writes it under ``benchmarks/output/`` so the rendered artifacts
+survive pytest's capture.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchutil import SCALE, SUMMER_START_S
+from repro.datasets import SimulationSpec, simulate_twin
+
+
+@pytest.fixture(scope="session")
+def twin_jobs():
+    """Job-statistics twin (Figures 6-10, fingerprinting): two weeks of a
+    busy 180-node machine."""
+    return simulate_twin(
+        SimulationSpec(
+            n_nodes=180,
+            n_jobs=max(200, int(12_000 * SCALE)),
+            horizon_s=14 * 86_400.0,
+            seed=101,
+            utilization_hint=0.88,
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def job_series_jobs(twin_jobs):
+    return twin_jobs.job_series()
+
+
+@pytest.fixture(scope="session")
+def job_series_components_jobs(twin_jobs):
+    return twin_jobs.job_series(components=True)
+
+
+@pytest.fixture(scope="session")
+def twin_summer():
+    """Summer twin for the edge/thermal-response studies (Figures 11-12)."""
+    return simulate_twin(
+        SimulationSpec(
+            n_nodes=180,
+            n_jobs=max(150, int(7_000 * SCALE)),
+            horizon_s=8 * 86_400.0,
+            seed=102,
+            start_time=SUMMER_START_S,
+            utilization_hint=0.88,
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def twin_year():
+    """Year-long twin (Figure 5, Tables 2/4, Figures 13-16).
+
+    Monthly 12-hour maintenance drains reproduce Figure 5's periodic
+    idle-touching dips; the February drain coincides with the forced-chiller
+    cooling-tower maintenance.
+    """
+    drains = tuple(
+        (day * 86_400.0, day * 86_400.0 + 12 * 3600.0)
+        for day in (36, 66, 96, 127, 157, 188, 218, 249, 280, 310, 341)
+    )
+    return simulate_twin(
+        SimulationSpec(
+            n_nodes=90,
+            n_jobs=max(2_000, int(150_000 * SCALE)),
+            horizon_s=365 * 86_400.0,
+            seed=103,
+            drain_windows=drains,
+            # 10x failure intensity: the twin year has ~1.7% of Summit's
+            # node-hours, so hardware-failure statistics (double-bit, page
+            # retirement) would otherwise be single digits
+            failure_intensity=10.0,
+            # thin the submission stream to ~85% of capacity: an unbounded
+            # backlog both misrepresents Summit (its queue drains) and makes
+            # the scheduler's per-event queue scan quadratic
+            utilization_hint=0.85,
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def twin_day():
+    """One busy day at 90 nodes (validation, ablations, pipeline scaling)."""
+    return simulate_twin(
+        SimulationSpec(
+            n_nodes=90,
+            n_jobs=max(120, int(1_300 * SCALE)),
+            horizon_s=86_400.0,
+            seed=104,
+            utilization_hint=0.85,
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def job_summary_jobs(job_series_jobs):
+    """Dataset 5 analogue for the job-statistics twin."""
+    from repro.core import job_power_summary
+
+    return job_power_summary(job_series_jobs)
+
+
+@pytest.fixture(scope="session")
+def job_energy_jobs(job_series_jobs):
+    """Dataset 7 analogue for the job-statistics twin."""
+    from repro.core import job_energy
+
+    return job_energy(job_series_jobs)
+
+
+@pytest.fixture(scope="session")
+def job_meta_jobs(twin_jobs, job_summary_jobs):
+    """Job summaries joined with catalog metadata (class, domain, user)."""
+    from repro.frame.join import join
+
+    cat = twin_jobs.catalog.table.select(
+        ["allocation_id", "sched_class", "node_count", "domain",
+         "project", "user_id", "walltime_s"]
+    )
+    return join(job_summary_jobs, cat, "allocation_id", how="inner")

@@ -1,0 +1,74 @@
+"""Power-dynamics analysis: the Section 4.2 workflow on a simulated day.
+
+Detects rising/falling edges in cluster power (the paper's 868 W/node
+threshold), measures edge durations (80% return rule), superimposes
+snapshots around rising edges, and characterizes each job's dominant FFT
+mode — Figures 10 and 11 on your own twin.
+
+Run:  python examples/edge_analysis.py
+"""
+
+import numpy as np
+
+from repro.core.edges import (
+    amplitude_class_mw,
+    detect_edges,
+    edges_per_job,
+    extract_snapshot,
+    superimpose,
+)
+from repro.core.report import render_cdf_quantiles, render_series
+from repro.core.spectral import job_spectral_summary
+from repro.datasets import SimulationSpec, simulate_twin
+
+
+def main() -> None:
+    twin = simulate_twin(SimulationSpec(
+        n_nodes=180, n_jobs=2800, horizon_s=3 * 86_400.0, seed=11,
+    ))
+
+    # --- per-job edge statistics (Figure 10, top) ---
+    series = twin.job_series()
+    edges, per_job = edges_per_job(series)
+    edge_free = (per_job["n_edges"] == 0).mean()
+    print(f"jobs: {per_job.n_rows}; edge-free: {edge_free:.1%} "
+          "(paper: 96.9%)")
+    if edges.n_rows:
+        print(render_cdf_quantiles("edges per job (jobs w/ edges)",
+                                   per_job["n_edges"][per_job["n_edges"] > 0]))
+        print(render_cdf_quantiles("edge duration (min)",
+                                   edges["duration_s"] / 60.0))
+
+    # --- per-job dominant FFT mode (Figure 10, bottom) ---
+    spec = job_spectral_summary(series)
+    f = spec["fft_freq_hz"]
+    ok = np.isfinite(f) & (f > 0)
+    print(render_cdf_quantiles("dominant period (s)", 1.0 / f[ok]))
+
+    # --- cluster-level rising edges and their snapshots (Figure 11) ---
+    times, power = twin.cluster_power(dt=10.0)
+    thr = twin.config.edge_threshold_w_per_node * twin.config.n_nodes
+    cluster_edges = detect_edges(times, power, threshold_w=0.3 * thr)
+    rising = cluster_edges.filter(cluster_edges["direction"] == 1)
+    print(f"\ncluster rising edges: {rising.n_rows} "
+          f"(threshold {0.3 * thr / 1e3:.0f} kW)")
+
+    if rising.n_rows:
+        # superimpose all snapshots aligned at their edges
+        snaps = np.array([
+            extract_snapshot(times, power, t, before_s=60.0, after_s=240.0)
+            for t in rising["time"]
+        ])
+        s = superimpose(snaps)
+        print(render_series("mean rising-edge snapshot", s["mean"], "W"))
+        print(render_series("95% CI half-width", s["ci95"], "W"))
+        amp = amplitude_class_mw(
+            rising["amplitude_w"] * 4626 / twin.config.n_nodes
+        )
+        vals, counts = np.unique(amp, return_counts=True)
+        print("amplitude census (full-scale MW bins): "
+              + "  ".join(f"{v}MW-{c}" for v, c in zip(vals, counts)))
+
+
+if __name__ == "__main__":
+    main()

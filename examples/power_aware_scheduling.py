@@ -1,0 +1,80 @@
+"""Power-aware scheduling: the paper's conclusion as a what-if study.
+
+The paper closes: "aggressive power and energy aware application
+optimizations and scheduling policies can have impact even on HPC
+deployments like Summit that impose no power constraints on its jobs."
+This example runs the same one-day workload unconstrained and under a
+power-cap admission policy, then prints the trade: flattened peak (cheaper
+cooling provisioning) vs queue wait.
+
+Run:  python examples/power_aware_scheduling.py
+"""
+
+import numpy as np
+
+from repro.core.report import fmt_si, render_series, render_table
+from repro.datasets import SimulationSpec, cluster_power_direct, simulate_twin
+from repro.frame.join import join
+from repro.machine import ChipPopulation
+from repro.workload import PowerAwareScheduler, estimate_job_peak_w
+
+
+def main() -> None:
+    twin = simulate_twin(SimulationSpec(
+        n_nodes=90, n_jobs=1500, horizon_s=86_400.0, seed=13,
+        utilization_hint=0.88,
+    ))
+    cfg = twin.config
+    chips = ChipPopulation(cfg, seed=13)
+    machine_peak = cfg.n_nodes * cfg.node_max_power_w
+
+    est = estimate_job_peak_w(twin.catalog)
+    print(f"{twin.catalog.n_jobs} jobs; per-job peak estimates "
+          f"{fmt_si(float(est.min()), 'W')} .. {fmt_si(float(est.max()), 'W')}")
+
+    rows = []
+    series = {}
+    for label, cap_frac in (("baseline", None), ("cap 70%", 0.70),
+                            ("cap 60%", 0.60)):
+        if cap_frac is None:
+            sched = twin.schedule
+            delayed = 0
+        else:
+            res = PowerAwareScheduler(
+                cap_frac * machine_peak, cfg, seed=13
+            ).run_capped(twin.catalog, twin.spec.horizon_s)
+            sched = res.schedule
+            delayed = res.n_power_delayed
+        _, power = cluster_power_direct(
+            twin.catalog, sched, chips, twin.spec.horizon_s, seed=13
+        )
+        series[label] = power
+        sub = join(
+            sched.allocations,
+            twin.catalog.table.select(["allocation_id", "submit_time"]),
+            "allocation_id", how="inner",
+        )
+        wait_min = float((sub["begin_time"] - sub["submit_time"]).mean()) / 60.0
+        rows.append([
+            label, fmt_si(float(power.max()), "W"),
+            fmt_si(float(power.mean()), "W"), f"{wait_min:.1f}",
+            delayed, sched.allocations.n_rows,
+        ])
+
+    print()
+    print(render_table(
+        ["policy", "peak power", "mean power", "mean wait (min)",
+         "power-delayed jobs", "jobs started"],
+        rows,
+        title="power-cap admission vs unconstrained (one day, 90-node twin)",
+    ))
+    print()
+    for label, power in series.items():
+        print(render_series(label, power, "W"))
+    print("\nThe cap trims exactly the violent peaks Section 4.2 "
+          "characterizes; the cost is queue wait, which the facility can "
+          "weigh against the cooling capacity those peaks force it to hold.")
+
+
+if __name__ == "__main__":
+    main()

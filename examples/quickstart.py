@@ -1,0 +1,77 @@
+"""Quickstart: simulate a small Summit twin and look at its power story.
+
+Builds a 90-node deployment running one simulated day of jobs, then prints
+the cluster power envelope, the job population, and per-class power
+statistics — the Section 4.1 view of the machine in about a minute.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.config import SUMMIT
+from repro.core import job_power_summary
+from repro.core.report import fmt_si, render_cdf_quantiles, render_series, render_table
+from repro.datasets import SimulationSpec, simulate_twin
+from repro.frame.join import join
+
+
+def main() -> None:
+    spec = SimulationSpec(
+        n_nodes=90,          # 1/51st of Summit; per-node physics unchanged
+        n_jobs=1200,
+        horizon_s=86_400.0,  # one day
+        seed=7,
+    )
+    twin = simulate_twin(spec)
+    print(f"machine: {twin.config.n_nodes} nodes "
+          f"({twin.config.n_nodes * twin.config.gpus_per_node} GPUs), "
+          f"{twin.schedule.allocations.n_rows} jobs started, "
+          f"{len(twin.schedule.dropped)} still queued at horizon")
+
+    # --- cluster power over the day (Figure 5's raw material) ---
+    times, power = twin.cluster_power(dt=60.0)
+    print()
+    print(render_series("cluster power", power, "W"))
+    idle = twin.config.n_nodes * twin.config.node_idle_w
+    print(f"idle floor {fmt_si(idle, 'W')}, "
+          f"mean {fmt_si(power.mean(), 'W')}, "
+          f"peak {fmt_si(power.max(), 'W')}")
+
+    # --- job-level power summaries (Dataset 5) ---
+    series = twin.job_series()
+    summary = job_power_summary(series)
+    cat = twin.catalog.table.select(["allocation_id", "sched_class", "node_count"])
+    meta = join(summary, cat, "allocation_id", how="inner")
+
+    print()
+    rows = []
+    for cls in (1, 2, 3, 4, 5):
+        sub = meta.filter(meta["sched_class"] == cls)
+        if sub.n_rows == 0:
+            continue
+        rows.append([
+            cls, sub.n_rows,
+            int(np.median(sub["node_count"])),
+            fmt_si(float(np.median(sub["mean_sum_inp"])), "W"),
+            fmt_si(float(sub["max_sum_inp"].max()), "W"),
+        ])
+    print(render_table(
+        ["class", "jobs", "median nodes", "median mean power", "largest max power"],
+        rows,
+        title="per-class job power (the Figure 6/7 quantities)",
+    ))
+
+    print()
+    print(render_cdf_quantiles(
+        "job mean power / node (W)",
+        meta["mean_sum_inp"] / np.maximum(meta["node_count"], 1), "W",
+    ))
+    print("\nNext: examples/edge_analysis.py (power dynamics), "
+          "examples/facility_cooling.py (PUE), "
+          "examples/reliability_report.py (GPU failures), "
+          "examples/telemetry_pipeline.py (the full data path).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+"""GPU reliability report: the Section 6 analyses on a twin period.
+
+Generates the XID failure log for a simulated quarter, then reproduces the
+Table 4 composition, the Figure 13 co-occurrence pairs, the Figure 15
+thermal-extremity summary, and the Figure 16 slot histogram.
+
+Run:  python examples/reliability_report.py
+"""
+
+import numpy as np
+
+from repro.core.reliability import (
+    cooccurrence_matrix,
+    failure_composition,
+    failures_per_project,
+    slot_counts,
+    thermal_extremity,
+)
+from repro.core.report import render_hist, render_table
+from repro.datasets import SimulationSpec, simulate_twin
+from repro.failures.xid import XID_TYPES
+
+
+def main() -> None:
+    twin = simulate_twin(SimulationSpec(
+        n_nodes=90, n_jobs=30_000, horizon_s=91 * 86_400.0, seed=33,
+        failure_intensity=12.0,   # boost rates so a quarter has statistics
+    ))
+    log = twin.failures
+    print(f"{log.n_failures} XID events over a simulated quarter "
+          f"({twin.schedule.allocations.n_rows} jobs)\n")
+
+    # --- Table 4 ---
+    comp = failure_composition(log)
+    rows = [
+        [str(comp["xid_name"][i]), int(comp["count"][i]),
+         f"{comp['max_node_share'][i]:.0%}"]
+        for i in range(comp.n_rows) if comp["count"][i] > 0
+    ]
+    print(render_table(["GPU error", "count", "worst-node share"], rows,
+                       title="failure composition (Table 4)"))
+
+    # --- Figure 13: strongest significant co-occurrences ---
+    co = cooccurrence_matrix(log, twin.config.n_nodes)
+    sig = co["significant"]
+    pairs = []
+    for i in range(len(XID_TYPES)):
+        for j in range(i + 1, len(XID_TYPES)):
+            if np.isfinite(sig[i, j]) and abs(sig[i, j]) > 0.1:
+                pairs.append((abs(sig[i, j]), XID_TYPES[i].name,
+                              XID_TYPES[j].name, sig[i, j]))
+    pairs.sort(reverse=True)
+    print()
+    print(render_table(
+        ["type A", "type B", "pearson r"],
+        [[a, b, f"{r:.2f}"] for _, a, b, r in pairs[:8]],
+        title="significant co-occurrence (Figure 13, Bonferroni-corrected)",
+    ))
+
+    # --- Figure 14: most error-prone projects ---
+    proj = failures_per_project(log, twin.catalog, twin.schedule, top=8)
+    t = proj["table"]
+    print()
+    print(render_table(
+        ["project", "failures", "per node-hour"],
+        [[str(t["project"][i]), int(t["n_failures"][i]),
+          f"{t['per_node_hour'][i]:.2e}"] for i in range(t.n_rows)],
+        title="top error-prone projects (Figure 14)",
+    ))
+
+    # --- Figure 15: thermal extremity ---
+    th = thermal_extremity(log, twin.job_thermal)
+    tt = th["table"].filter(th["table"]["n"] >= 20)
+    print()
+    print(render_table(
+        ["GPU error", "n", "z skew", "max temp (C)"],
+        [[str(tt["xid_name"][i]), int(tt["n"][i]),
+          f"{tt['z_skewness'][i]:.2f}", f"{tt['max_temp_c'][i]:.1f}"]
+         for i in range(tt.n_rows)],
+        title="thermal extremity (Figure 15): no left skew anywhere",
+    ))
+
+    # --- Figure 16: slot placement ---
+    sc = slot_counts(log)
+    print()
+    print(render_hist([f"GPU {s}" for s in range(6)], sc["matrix"].sum(axis=0),
+                      title="failures per GPU slot (Figure 16)"))
+    print("\nNote the reverse of the naive cooling-order expectation: "
+          "slot 0 (first, coolest water) fails the most — exposure from "
+          "single-GPU jobs, not water temperature, dominates.")
+
+
+if __name__ == "__main__":
+    main()

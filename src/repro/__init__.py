@@ -1,0 +1,45 @@
+"""repro — reproduction of *Revealing Power, Energy and Thermal Dynamics of a
+200PF Pre-Exascale Supercomputer* (Shin et al., SC '21).
+
+The package has two halves:
+
+* **Substrates** — a digital twin of the Summit HPC data center and the data
+  stack the paper's analysis ran on:
+
+  - :mod:`repro.frame` — columnar mini-dataframe (the pandas substitute),
+  - :mod:`repro.parallel` — partitioned-dataset parallel executor (the Dask
+    substitute),
+  - :mod:`repro.machine` — Summit floor / cabinet / node / component models,
+  - :mod:`repro.workload` — scheduler, job generator, application power
+    profiles,
+  - :mod:`repro.cooling` — weather, central energy plant, MTW loop, thermal
+    models,
+  - :mod:`repro.failures` — GPU XID failure generator,
+  - :mod:`repro.telemetry` — out-of-band collection path, sensors, codecs,
+    MSB meters.
+
+* **Core** (:mod:`repro.core`) — the paper's analysis methodology: 10-second
+  coarsening, cluster/job-level aggregation, rising/falling edge detection and
+  snapshot superposition, FFT characterization, KDE/CDF statistics, PUE
+  analysis, reliability and spatial analytics, and job power fingerprinting.
+
+:mod:`repro.datasets` orchestrates end-to-end generation of analogues of the
+paper's raw datasets (A–E) and derived datasets (0–13).
+"""
+
+from repro.config import (
+    SummitConfig,
+    SchedulingClass,
+    SCHEDULING_CLASSES,
+    SUMMIT,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SummitConfig",
+    "SchedulingClass",
+    "SCHEDULING_CLASSES",
+    "SUMMIT",
+    "__version__",
+]

@@ -1,0 +1,125 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``simulate``
+    Run a twin deployment and print the operational summary (power
+    envelope, PUE, job population, failure counts).
+``export``
+    Run a twin and write its datasets (allocations, XID log, job series,
+    cluster power) to a directory in the artifact layout.
+``spec``
+    Print the Summit system specification from the model (Table 1).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _add_twin_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--nodes", type=int, default=90, help="twin machine size")
+    p.add_argument("--jobs", type=int, default=1200, help="jobs to submit")
+    p.add_argument("--days", type=float, default=1.0, help="horizon in days")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--start-day", type=float, default=0.0,
+                   help="day-of-year offset (weather season)")
+    p.add_argument("--failure-intensity", type=float, default=1.0)
+
+
+def _build_twin(args):
+    from repro.datasets import SimulationSpec, simulate_twin
+
+    spec = SimulationSpec(
+        n_nodes=args.nodes,
+        n_jobs=args.jobs,
+        horizon_s=args.days * 86_400.0,
+        seed=args.seed,
+        start_time=args.start_day * 86_400.0,
+        failure_intensity=args.failure_intensity,
+    )
+    return simulate_twin(spec)
+
+
+def cmd_simulate(args) -> int:
+    from repro.core.report import fmt_si, render_series, render_table
+
+    twin = _build_twin(args)
+    times, power = twin.cluster_power(dt=60.0)
+    st = twin.plant.simulate(times + twin.spec.start_time, power)
+    cls_counts = np.bincount(twin.catalog.table["sched_class"], minlength=6)[1:]
+
+    print(f"twin: {twin.config.n_nodes} nodes, "
+          f"{twin.schedule.allocations.n_rows} jobs started "
+          f"({len(twin.schedule.dropped)} queued at horizon)")
+    print(render_series("cluster power", power, "W"))
+    print(render_series("PUE", st.pue))
+    print(render_table(
+        ["class", "jobs"],
+        [[i + 1, int(c)] for i, c in enumerate(cls_counts)],
+        title="job population",
+    ))
+    print(f"power: mean {fmt_si(power.mean(), 'W')} | "
+          f"peak {fmt_si(power.max(), 'W')} | PUE mean {st.pue.mean():.3f}")
+    print(f"GPU XID events: {twin.failures.n_failures}")
+    return 0
+
+
+def cmd_export(args) -> int:
+    from repro.datasets import export_datasets
+
+    twin = _build_twin(args)
+    inv = export_datasets(twin, args.output)
+    print(f"exported to {args.output}")
+    for k, v in inv.items():
+        if k != "on_disk_bytes":
+            print(f"  {k}: {v:,}")
+    for name, size in inv.get("on_disk_bytes", {}).items():
+        print(f"  {name}: {size:,} bytes")
+    return 0
+
+
+def cmd_spec(args) -> int:
+    from repro.core.report import render_table
+    from repro.machine import NodePowerModel, Topology
+    from repro.config import SUMMIT
+
+    topo = Topology(SUMMIT)
+    model = NodePowerModel(SUMMIT)
+    d = topo.describe()
+    rows = [[k, f"{v:,}"] for k, v in d.items()]
+    rows.append(["node max power (W)", f"{model.peak_power():.0f}"])
+    rows.append(["node idle power (W)", f"{model.idle_power():.0f}"])
+    print(render_table(["item", "value"], rows,
+                       title="Summit system specification (Table 1)"))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Summit power/energy/thermal twin (SC '21 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_sim = sub.add_parser("simulate", help="run a twin and print a summary")
+    _add_twin_args(p_sim)
+    p_sim.set_defaults(fn=cmd_simulate)
+
+    p_exp = sub.add_parser("export", help="run a twin and export datasets")
+    _add_twin_args(p_exp)
+    p_exp.add_argument("--output", required=True, help="output directory")
+    p_exp.set_defaults(fn=cmd_export)
+
+    p_spec = sub.add_parser("spec", help="print the Table 1 system spec")
+    p_spec.set_defaults(fn=cmd_spec)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,22 @@
+"""Facility model: weather, central energy plant, and component thermals.
+
+Reproduces the cross-cutting plant behavior of Sections 2, 4.1 and 5:
+medium-temperature-water (MTW) cooling backed by evaporative cooling towers,
+chilled-water trim during hot/humid periods, ~1-minute staging response with
+slower de-staging, and the PUE envelope (annual ~1.11, summer ~1.22).
+"""
+
+from repro.cooling.weather import Weather
+from repro.cooling.plant import CentralEnergyPlant, PlantState
+from repro.cooling.thermal import (
+    ComponentThermalModel,
+    first_order_lag,
+)
+
+__all__ = [
+    "Weather",
+    "CentralEnergyPlant",
+    "PlantState",
+    "ComponentThermalModel",
+    "first_order_lag",
+]

@@ -1,0 +1,177 @@
+"""Central energy plant (Figure 1-(d)): towers, chillers, MTW loop, PUE.
+
+Heat removed from the compute floor returns in the MTW secondary loop; the
+plant drives MTW supply temperature back to its ~70 degF setpoint using
+
+* the *economizer* path — evaporative cooling towers, cheap, effective
+  whenever the outdoor wet bulb is comfortably below the setpoint, and
+* the *trim* path — chillers, expensive (compressor work), staged in only
+  when towers cannot reach the setpoint (hot/humid summer, ~20% of the
+  year).
+
+Dynamics reproduce Section 5: cooling response lags the load by about one
+minute, and de-staging is slower than staging (the source of the PUE
+oscillation after large falling edges).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import SummitConfig, SUMMIT, fahrenheit_to_celsius
+from repro.cooling.weather import Weather
+
+#: watts per ton of refrigeration
+W_PER_TON = 3517.0
+
+
+@dataclass
+class PlantState:
+    """Plant output time series (all numpy arrays over the input times).
+
+    Attributes mirror Dataset 12 / Figure 12 quantities: MTW supply and
+    return temperature (degC), tower and chiller tons of refrigeration,
+    facility overhead power (W), and PUE.
+    """
+
+    times: np.ndarray
+    mtw_supply_c: np.ndarray
+    mtw_return_c: np.ndarray
+    tower_tons: np.ndarray
+    chiller_tons: np.ndarray
+    overhead_w: np.ndarray
+    pue: np.ndarray
+    wet_bulb_c: np.ndarray
+
+    def to_columns(self) -> dict[str, np.ndarray]:
+        """Column dict for building a Table (timestamp + telemetrics)."""
+        return {
+            "timestamp": self.times,
+            "mtwst": self.mtw_supply_c,
+            "mtwrt": self.mtw_return_c,
+            "tower_tons": self.tower_tons,
+            "chiller_tons": self.chiller_tons,
+            "overhead_w": self.overhead_w,
+            "pue": self.pue,
+            "wet_bulb_c": self.wet_bulb_c,
+        }
+
+
+class CentralEnergyPlant:
+    """Quasi-physical plant model; integrate with :meth:`simulate`.
+
+    Calibration (annual PUE ~1.11, summer ~1.22 at 5-6 MW IT load):
+
+    * fixed overhead (lighting, controls): 60 kW x scale,
+    * pumps + tower fans: ~4.5% of removed heat,
+    * chillers: removed heat / COP 4.0, only on the trimmed fraction
+      (forcing 100% trim reproduces the February-maintenance PUE ~1.3).
+    """
+
+    #: tower approach: closest the tower loop can get to wet bulb (degC)
+    TOWER_APPROACH_C = 4.5
+    #: MTW supply setpoint (70 degF)
+    SUPPLY_SETPOINT_C = fahrenheit_to_celsius(70.0)
+    #: margin below setpoint the towers must reach before chillers stage out
+    TRIM_MARGIN_C = 0.0
+    #: loop transport delay, load -> return-temperature sensor (s)
+    LOOP_DELAY_S = 60.0
+    #: staging time constants (s): towers/chillers ramp up fast, down slow
+    TAU_UP_S = 45.0
+    TAU_DOWN_S = 180.0
+    #: chiller coefficient of performance
+    CHILLER_COP = 4.0
+    #: pump + tower-fan power as a fraction of heat removed
+    PUMP_FAN_FRACTION = 0.045
+
+    def __init__(self, config: SummitConfig = SUMMIT, weather: Weather | None = None):
+        self.config = config
+        self.weather = weather if weather is not None else Weather()
+        # loop thermal mass: sized so full load swings return temp by
+        # (100F - 70F) ~= 16.7 degC at peak power
+        peak_w = config.system_peak_mw * 1e6
+        self._mcp_w_per_k = peak_w / 16.7
+
+    def required_trim_fraction(self, wet_bulb_c: np.ndarray) -> np.ndarray:
+        """Fraction of heat the chillers must carry given the wet bulb.
+
+        0 when towers alone reach the setpoint; ramps to 1 as the achievable
+        tower temperature rises past it.
+        """
+        achievable = np.asarray(wet_bulb_c) + self.TOWER_APPROACH_C
+        deficit = achievable - (self.SUPPLY_SETPOINT_C - self.TRIM_MARGIN_C)
+        return np.clip(deficit / 0.8, 0.0, 1.0)
+
+    def simulate(
+        self,
+        times: np.ndarray,
+        it_power_w: np.ndarray,
+        chiller_forced: np.ndarray | None = None,
+    ) -> PlantState:
+        """Integrate the plant over ``times`` (s) given IT power (W).
+
+        ``chiller_forced`` optionally forces a minimum trim fraction
+        (e.g. 1.0 during the February cooling-tower maintenance that pushed
+        PUE to ~1.3).  Times must be evenly spaced.
+        """
+        times = np.asarray(times, dtype=np.float64)
+        it = np.asarray(it_power_w, dtype=np.float64)
+        if times.shape != it.shape:
+            raise ValueError("times and it_power_w must have the same shape")
+        if len(times) < 2:
+            raise ValueError("need at least two samples")
+        dt = float(times[1] - times[0])
+        if not np.allclose(np.diff(times), dt, rtol=1e-6):
+            raise ValueError("times must be evenly spaced")
+
+        n = len(times)
+        wb = self.weather.wet_bulb_c(times)
+        trim_req = self.required_trim_fraction(wb)
+        if chiller_forced is not None:
+            trim_req = np.maximum(trim_req, np.asarray(chiller_forced, float))
+
+        # heat arriving at the return sensor: transport-delayed IT power
+        delay_steps = max(1, int(round(self.LOOP_DELAY_S / dt))) if dt < self.LOOP_DELAY_S else 1
+        heat = np.empty(n)
+        heat[:delay_steps] = it[0]
+        heat[delay_steps:] = it[: n - delay_steps]
+
+        # staged cooling capacity chases the delayed heat, asymmetrically
+        a_up = 1.0 - np.exp(-dt / self.TAU_UP_S)
+        a_dn = 1.0 - np.exp(-dt / self.TAU_DOWN_S)
+        capacity = np.empty(n)
+        c = heat[0]
+        for i in range(n):  # sequential by nature (asymmetric IIR)
+            target = heat[i]
+            a = a_up if target > c else a_dn
+            c += a * (target - c)
+            capacity[i] = c
+
+        chiller_heat = capacity * trim_req
+        tower_heat = capacity - chiller_heat
+
+        # supply temp: setpoint + excursion when capacity lags the load
+        imbalance = (heat - capacity) / self._mcp_w_per_k
+        supply = self.SUPPLY_SETPOINT_C + np.clip(imbalance * 30.0, -1.5, 4.0)
+        ret = supply + heat / self._mcp_w_per_k
+
+        fixed = 6e4 * (self.config.n_nodes / SUMMIT.n_nodes)
+        overhead = (
+            fixed
+            + self.PUMP_FAN_FRACTION * capacity
+            + chiller_heat / self.CHILLER_COP
+        )
+        pue = (it + overhead) / np.maximum(it, 1.0)
+
+        return PlantState(
+            times=times,
+            mtw_supply_c=supply,
+            mtw_return_c=ret,
+            tower_tons=tower_heat / W_PER_TON,
+            chiller_tons=chiller_heat / W_PER_TON,
+            overhead_w=overhead,
+            pue=pue,
+            wet_bulb_c=wb,
+        )

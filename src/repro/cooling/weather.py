@@ -1,0 +1,73 @@
+"""East-Tennessee weather model (drives cooling-tower effectiveness).
+
+Evaporative cooling towers can chill water to roughly the *wet-bulb*
+temperature plus an approach; Summit's 70 degF (21.1 degC) MTW supply
+setpoint means chilled-water trim is needed exactly when the wet bulb gets
+close to or above ~18 degC — the hot and humid Tennessee summer, about 20%
+of the year (Section 2).
+
+The model is a deterministic seasonal + diurnal signal plus smooth
+low-frequency weather noise (random Fourier modes), so any time window is
+reproducible from the seed without simulating the preceding year.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+SECONDS_PER_DAY = 86_400.0
+SECONDS_PER_YEAR = 365.0 * SECONDS_PER_DAY
+
+
+class Weather:
+    """Dry-bulb and wet-bulb temperature as functions of time.
+
+    Time is seconds since Jan 1 00:00 local.  Calibration targets (Oak
+    Ridge, TN): January mean ~3 degC, July mean ~26 degC, diurnal swing
+    ~8 degC, summer wet bulb peaking ~23-24 degC.
+    """
+
+    #: number of random low-frequency weather modes
+    N_MODES = 24
+
+    def __init__(self, seed: int = 0):
+        rng = np.random.default_rng(np.random.SeedSequence([seed, 0x33A7]))
+        # modes with periods between ~2 and ~30 days
+        periods = rng.uniform(2.0, 30.0, self.N_MODES) * SECONDS_PER_DAY
+        self._omega = 2.0 * np.pi / periods
+        self._phase = rng.uniform(0.0, 2.0 * np.pi, self.N_MODES)
+        amps = rng.uniform(0.3, 1.2, self.N_MODES)
+        # normalize so the noise std is ~2.5 degC
+        self._amp = 2.5 * amps / np.sqrt((amps ** 2).sum() / 2.0)
+
+    def dry_bulb_c(self, t: np.ndarray) -> np.ndarray:
+        """Dry-bulb air temperature (degC) at times ``t`` (s since Jan 1)."""
+        t = np.asarray(t, dtype=np.float64)
+        # seasonal: min mid-January (day 15), max mid-July
+        season = 14.5 - 11.5 * np.cos(
+            2.0 * np.pi * (t / SECONDS_PER_YEAR - 15.0 / 365.0)
+        )
+        diurnal = 4.0 * np.cos(2.0 * np.pi * (t / SECONDS_PER_DAY - 15.0 / 24.0))
+        noise = np.zeros_like(t)
+        for a, w, p in zip(self._amp, self._omega, self._phase):
+            noise += a * np.sin(w * t + p)
+        return season + diurnal + noise
+
+    def wet_bulb_c(self, t: np.ndarray) -> np.ndarray:
+        """Wet-bulb temperature (degC): dry bulb minus a humidity-dependent
+        depression (smaller in humid summer, so summer wet bulb tracks dry
+        bulb closely — the condition that forces chiller trim)."""
+        t = np.asarray(t, dtype=np.float64)
+        db = self.dry_bulb_c(t)
+        # anchors: winter (db ~0) wet bulb ~1.5 degC below dry bulb; summer
+        # peaks (db ~34) wet bulb ~26-27 degC — hot TN afternoons stay humid
+        # but never push the wet bulb much past the mid-20s.
+        depression = 1.5 + 0.17 * np.clip(db, 0.0, None)
+        return db - depression
+
+    def summer_mask(self, t: np.ndarray) -> np.ndarray:
+        """True for timestamps within the paper's summer window
+        (July 24 - Sept 30, used for Figures 11-12)."""
+        t = np.asarray(t, dtype=np.float64)
+        day = (t % SECONDS_PER_YEAR) / SECONDS_PER_DAY
+        return (day >= 204.0) & (day <= 273.0)

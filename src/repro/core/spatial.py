@@ -1,0 +1,106 @@
+"""Spatial heat analysis on the Summit floor (Section 6.2, Figure 17)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.machine.topology import Topology
+
+
+def cabinet_temperature_grid(
+    topology: Topology,
+    node_gpu_temps: np.ndarray,
+    participating: np.ndarray | None = None,
+    missing_nodes: np.ndarray | None = None,
+) -> dict[str, np.ndarray]:
+    """Per-cabinet mean and max GPU temperature scattered on the floor grid.
+
+    Parameters
+    ----------
+    node_gpu_temps:
+        ``(n_nodes, gpus_per_node)`` temperatures for one 10 s interval.
+    participating:
+        Boolean node mask of job membership; non-participating cabinets are
+        NaN in the ``mean`` grid and flagged in ``not_in_job`` (the paper's
+        bright-green cells).
+    missing_nodes:
+        Nodes whose telemetry was lost; cabinets that are entirely missing
+        are flagged in ``missing`` (the paper's grey cells).
+
+    Returns dict with ``mean``/``max`` grids (n_rows, cabinets_per_row) and
+    boolean ``missing``/``not_in_job`` grids.
+    """
+    temps = np.asarray(node_gpu_temps, dtype=np.float64)
+    n_nodes = topology.n_nodes
+    if temps.shape[0] != n_nodes:
+        raise ValueError(f"expected {n_nodes} nodes, got {temps.shape[0]}")
+    node_ok = np.ones(n_nodes, dtype=bool)
+    if participating is not None:
+        node_ok &= np.asarray(participating, dtype=bool)
+    if missing_nodes is not None:
+        lost = np.zeros(n_nodes, dtype=bool)
+        lost[np.asarray(missing_nodes, dtype=np.int64)] = True
+        node_ok &= ~lost
+    else:
+        lost = np.zeros(n_nodes, dtype=bool)
+
+    node_mean = np.where(node_ok, temps.mean(axis=1), np.nan)
+    node_max = np.where(node_ok, temps.max(axis=1), np.nan)
+
+    n_cab = topology.n_cabinets
+    cab_sum = np.zeros(n_cab)
+    cab_cnt = np.zeros(n_cab)
+    cab_max = np.full(n_cab, -np.inf)
+    ok_idx = np.flatnonzero(node_ok)
+    cabs = topology.node_cabinet[ok_idx]
+    np.add.at(cab_sum, cabs, node_mean[ok_idx])
+    np.add.at(cab_cnt, cabs, 1.0)
+    np.maximum.at(cab_max, cabs, node_max[ok_idx])
+    with np.errstate(invalid="ignore", divide="ignore"):
+        cab_mean = np.where(cab_cnt > 0, cab_sum / np.maximum(cab_cnt, 1), np.nan)
+    cab_max = np.where(cab_cnt > 0, cab_max, np.nan)
+
+    # flags
+    part = np.ones(n_nodes, dtype=bool) if participating is None else np.asarray(participating, bool)
+    cab_part = np.zeros(n_cab, dtype=bool)
+    np.logical_or.at(cab_part, topology.node_cabinet, part)
+    cab_all_lost = np.ones(n_cab, dtype=bool)
+    np.logical_and.at(cab_all_lost, topology.node_cabinet, lost | ~part)
+    # a cabinet is "missing" when it participates but every node was lost
+    cab_lost_any = np.zeros(n_cab, dtype=bool)
+    np.logical_or.at(cab_lost_any, topology.node_cabinet, lost & part)
+    cab_missing = cab_part & ~np.isfinite(cab_mean) & cab_lost_any
+
+    return {
+        "mean": topology.cabinet_grid(cab_mean),
+        "max": topology.cabinet_grid(cab_max),
+        "missing": topology.cabinet_grid(cab_missing.astype(np.float64)) > 0.5,
+        "not_in_job": topology.cabinet_grid((~cab_part).astype(np.float64)) > 0.5,
+    }
+
+
+def spatial_locality(grid: np.ndarray) -> dict[str, float]:
+    """Quantify spatial structure of a cabinet-temperature grid.
+
+    Returns the overall spread and the share of variance explained by floor
+    row (the paper: "heat dissipation on Summit exhibits a slight spatial
+    locality" — a small but nonzero between-row share).
+    """
+    g = np.asarray(grid, dtype=np.float64)
+    vals = g[np.isfinite(g)]
+    if len(vals) < 2:
+        return {"spread_c": float("nan"), "row_variance_share": float("nan")}
+    total_var = vals.var()
+    row_means = np.array([
+        r[np.isfinite(r)].mean() if np.isfinite(r).any() else np.nan for r in g
+    ])
+    counts = np.array([int(np.isfinite(r).sum()) for r in g])
+    ok = np.isfinite(row_means) & (counts > 0)
+    grand = vals.mean()
+    between = float(
+        np.sum(counts[ok] * (row_means[ok] - grand) ** 2) / len(vals)
+    )
+    return {
+        "spread_c": float(vals.max() - vals.min()),
+        "row_variance_share": between / total_var if total_var > 0 else 0.0,
+    }

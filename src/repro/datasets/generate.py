@@ -1,0 +1,335 @@
+"""Twin simulation driver and direct dataset synthesis.
+
+Two equivalent routes produce the job-wise power series (Dataset 3):
+
+* **pipeline** — dense traces -> 1 Hz telemetry -> 10 s coarsening ->
+  interval join -> grouped collapse (the paper's actual Dask pipeline;
+  exercised on windows and in integration tests), and
+* **direct** — evaluate each job's profile on its own 10 s grid and reduce
+  across its nodes immediately (identical math, no dense cluster arrays),
+  which scales to a year of jobs.
+
+Both share the same per-job node-noise seeds, so they agree to sensor noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+
+import numpy as np
+
+from repro.config import SummitConfig, SUMMIT
+from repro.cooling.plant import CentralEnergyPlant, PlantState
+from repro.cooling.thermal import ComponentThermalModel
+from repro.cooling.weather import Weather
+from repro.failures.model import FailureLog, generate_failures, job_thermal_summary
+from repro.frame.table import Table
+from repro.machine.components import ChipPopulation
+from repro.machine.node import NodePowerModel
+from repro.machine.topology import Topology
+from repro.telemetry.collector import TelemetrySampler, LossEvent
+from repro.telemetry.msb import MsbMeters
+from repro.workload.apps import profile_utilization
+from repro.workload.jobs import JobCatalog, generate_jobs
+from repro.workload.scheduler import ScheduleResult, Scheduler, schedule_jobs
+from repro.workload.traces import ClusterTraceBuilder, NODE_NOISE_SIGMA
+
+#: cap on the per-chunk component-array size in the direct path
+_DIRECT_CHUNK_CELLS = 4_000_000
+
+
+@dataclass(frozen=True)
+class SimulationSpec:
+    """Parameters of one twin run.
+
+    ``start_time`` offsets the simulated window into the calendar year so
+    weather (and therefore PUE/chiller behavior) matches the season; the
+    paper's "summer" experiments use late July (day ~205).
+    """
+
+    n_nodes: int = 180
+    n_jobs: int = 4000
+    horizon_s: float = 7 * 86_400.0
+    seed: int = 0
+    start_time: float = 0.0
+    failure_intensity: float = 1.0
+    utilization_hint: float | None = None
+    #: maintenance windows (relative seconds): no job starts inside one,
+    #: so the machine drains toward idle (Figure 5's idle-touching dips)
+    drain_windows: tuple[tuple[float, float], ...] = ()
+
+    def config(self) -> SummitConfig:
+        return SUMMIT.scaled(self.n_nodes)
+
+
+@dataclass
+class TwinData:
+    """A fully simulated deployment plus cached derived artifacts."""
+
+    spec: SimulationSpec
+    config: SummitConfig
+    catalog: JobCatalog
+    schedule: ScheduleResult
+    chips: ChipPopulation
+    topology: Topology
+    weather: Weather
+    plant: CentralEnergyPlant
+
+    @cached_property
+    def builder(self) -> ClusterTraceBuilder:
+        """Dense trace builder (pipeline route)."""
+        return ClusterTraceBuilder(
+            self.catalog, self.schedule, self.chips, seed=self.spec.seed
+        )
+
+    @cached_property
+    def thermal(self) -> ComponentThermalModel:
+        return ComponentThermalModel(
+            self.config, self.chips, self.topology, seed=self.spec.seed
+        )
+
+    @cached_property
+    def msb(self) -> MsbMeters:
+        return MsbMeters(self.topology, seed=self.spec.seed)
+
+    @cached_property
+    def failures(self) -> FailureLog:
+        return generate_failures(
+            self.catalog,
+            self.schedule,
+            seed=self.spec.seed,
+            intensity=self.spec.failure_intensity,
+        )
+
+    @cached_property
+    def job_thermal(self) -> Table:
+        return job_thermal_summary(self.catalog)
+
+    def sampler(self, loss_events: tuple[LossEvent, ...] = ()) -> TelemetrySampler:
+        return TelemetrySampler(self.config, self.spec.seed, loss_events)
+
+    # ---------------- direct (year-scale) datasets ----------------
+
+    def cluster_power(self, dt: float = 10.0) -> tuple[np.ndarray, np.ndarray]:
+        """(times, total input power W) over the whole horizon."""
+        return cluster_power_direct(
+            self.catalog, self.schedule, self.chips, self.spec.horizon_s, dt,
+            seed=self.spec.seed,
+        )
+
+    def job_series(self, dt: float = 10.0, components: bool = False) -> Table:
+        """Dataset 3 (or 3+4 with ``components``) for every started job."""
+        return job_power_series_direct(
+            self.catalog, self.schedule, self.chips, dt=dt,
+            components=components, seed=self.spec.seed,
+        )
+
+    def plant_state(self, dt: float = 60.0) -> PlantState:
+        """Dataset 12 analogue over the horizon (IT load from the twin)."""
+        times, power = self.cluster_power(dt)
+        return self.plant.simulate(times + self.spec.start_time, power)
+
+
+def simulate_twin(spec: SimulationSpec) -> TwinData:
+    """Generate a deployment: jobs -> schedule -> machine population."""
+    config = spec.config()
+    catalog = generate_jobs(
+        config,
+        n_jobs=spec.n_jobs,
+        horizon_s=spec.horizon_s,
+        seed=spec.seed,
+        utilization_hint=spec.utilization_hint,
+    )
+    scheduler = Scheduler(config, seed=spec.seed, drain_windows=spec.drain_windows)
+    schedule = scheduler.run(catalog, spec.horizon_s)
+    chips = ChipPopulation(config, seed=spec.seed)
+    topology = Topology(config)
+    weather = Weather(seed=spec.seed)
+    plant = CentralEnergyPlant(config, weather)
+    return TwinData(
+        spec=spec,
+        config=config,
+        catalog=catalog,
+        schedule=schedule,
+        chips=chips,
+        topology=topology,
+        weather=weather,
+        plant=plant,
+    )
+
+
+def _job_grids(
+    begin: float, end: float, dt: float
+) -> np.ndarray:
+    """10 s-aligned sample times within [begin, end)."""
+    t0 = np.ceil(begin / dt) * dt
+    return np.arange(t0, end, dt)
+
+
+def job_power_series_direct(
+    catalog: JobCatalog,
+    schedule: ScheduleResult,
+    chips: ChipPopulation,
+    dt: float = 10.0,
+    components: bool = False,
+    seed: int | None = None,
+) -> Table:
+    """Dataset 3 (plus Dataset 4 columns when ``components``) per job.
+
+    Per-job node noise uses the same seeds as
+    :class:`~repro.workload.traces.ClusterTraceBuilder`, so this direct
+    route and the dense-pipeline route agree (tested property).
+    """
+    cfg = catalog.config
+    model = NodePowerModel(cfg, chips)
+    al = schedule.allocations
+    seed = seed if seed is not None else 0
+
+    out_id: list[np.ndarray] = []
+    out_t: list[np.ndarray] = []
+    out_cnt: list[np.ndarray] = []
+    out_sum: list[np.ndarray] = []
+    out_mean: list[np.ndarray] = []
+    out_max: list[np.ndarray] = []
+    comp_cols: dict[str, list[np.ndarray]] = {
+        k: []
+        for k in (
+            "mean_cpu_power", "std_cpu_power", "max_cpu_power",
+            "mean_gpu_power", "std_gpu_power", "max_gpu_power",
+        )
+    } if components else {}
+
+    for i in range(al.n_rows):
+        aid = int(al["allocation_id"][i])
+        begin = float(al["begin_time"][i])
+        end = float(al["end_time"][i])
+        times = _job_grids(begin, end, dt)
+        if len(times) == 0:
+            continue
+        row = catalog.row_of_allocation(aid)
+        profile = catalog.profile(row)
+        nodes = schedule.nodes_of(aid)
+        k_used = int(catalog.table["gpus_used"][row])
+        n_nodes = len(nodes)
+
+        rng = np.random.default_rng(np.random.SeedSequence([seed, 0x7A5E, aid]))
+        noise = 1.0 + rng.normal(0.0, NODE_NOISE_SIGMA, size=(n_nodes, 1))
+
+        chunk = max(1, _DIRECT_CHUNK_CELLS // (n_nodes * cfg.gpus_per_node))
+        sums = np.empty(len(times))
+        means = np.empty(len(times))
+        maxs = np.empty(len(times))
+        if components:
+            cstats = {k: np.empty(len(times)) for k in comp_cols}
+        for c0 in range(0, len(times), chunk):
+            c1 = min(c0 + chunk, len(times))
+            t_rel = times[c0:c1] - begin
+            cpu_u, gpu_u = profile_utilization(profile, t_rel, end - begin)
+            cu = np.clip(cpu_u[None, :] * noise, 0.0, 1.0)
+            gu = np.clip(gpu_u[None, :] * noise, 0.0, 1.0)
+            cpu_util = np.broadcast_to(
+                cu[:, None, :], (n_nodes, cfg.cpus_per_node, c1 - c0)
+            )
+            gpu_util = np.zeros((n_nodes, cfg.gpus_per_node, c1 - c0))
+            gpu_util[:, :k_used, :] = gu[:, None, :]
+            c_w, g_w = model.component_power(nodes, cpu_util, gpu_util)
+            cpu_node = c_w.sum(axis=1)
+            gpu_node = g_w.sum(axis=1)
+            inp = np.minimum(
+                (cpu_node + gpu_node + cfg.node_other_w) / cfg.psu_efficiency,
+                cfg.node_max_power_w,
+            )
+            sums[c0:c1] = inp.sum(axis=0)
+            means[c0:c1] = inp.mean(axis=0)
+            maxs[c0:c1] = inp.max(axis=0)
+            if components:
+                cstats["mean_cpu_power"][c0:c1] = cpu_node.mean(axis=0)
+                cstats["std_cpu_power"][c0:c1] = cpu_node.std(axis=0)
+                cstats["max_cpu_power"][c0:c1] = cpu_node.max(axis=0)
+                cstats["mean_gpu_power"][c0:c1] = gpu_node.mean(axis=0)
+                cstats["std_gpu_power"][c0:c1] = gpu_node.std(axis=0)
+                cstats["max_gpu_power"][c0:c1] = gpu_node.max(axis=0)
+
+        out_id.append(np.full(len(times), aid, np.int64))
+        out_t.append(times)
+        out_cnt.append(np.full(len(times), n_nodes, np.int64))
+        out_sum.append(sums)
+        out_mean.append(means)
+        out_max.append(maxs)
+        if components:
+            for kk in comp_cols:
+                comp_cols[kk].append(cstats[kk])
+
+    if not out_id:
+        raise ValueError("no job produced any samples (horizon too short?)")
+    cols = {
+        "allocation_id": np.concatenate(out_id),
+        "timestamp": np.concatenate(out_t),
+        "count_hostname": np.concatenate(out_cnt),
+        "sum_inp": np.concatenate(out_sum),
+        "mean_inp": np.concatenate(out_mean),
+        "max_inp": np.concatenate(out_max),
+    }
+    for kk, parts in comp_cols.items():
+        cols[kk] = np.concatenate(parts)
+    return Table(cols)
+
+
+def cluster_power_direct(
+    catalog: JobCatalog,
+    schedule: ScheduleResult,
+    chips: ChipPopulation,
+    horizon_s: float,
+    dt: float = 10.0,
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Total cluster input power over the horizon without dense node arrays.
+
+    Superposes each job's summed power onto an idle baseline — the same
+    superposition :class:`~repro.workload.traces.ClusterTraceBuilder`
+    performs, O(total job samples) instead of O(nodes x time).
+    """
+    cfg = catalog.config
+    model = NodePowerModel(cfg, chips)
+    times = np.arange(0.0, horizon_s, dt)
+    power = np.full(len(times), cfg.n_nodes * cfg.node_idle_w)
+    idle_w = cfg.node_idle_w
+
+    al = schedule.allocations
+    for i in range(al.n_rows):
+        aid = int(al["allocation_id"][i])
+        begin = float(al["begin_time"][i])
+        end = float(al["end_time"][i])
+        i0 = int(np.searchsorted(times, begin, side="left"))
+        i1 = int(np.searchsorted(times, end, side="left"))
+        if i1 <= i0:
+            continue
+        row = catalog.row_of_allocation(aid)
+        profile = catalog.profile(row)
+        nodes = schedule.nodes_of(aid)
+        k_used = int(catalog.table["gpus_used"][row])
+        n_nodes = len(nodes)
+        rng = np.random.default_rng(np.random.SeedSequence([seed, 0x7A5E, aid]))
+        noise = 1.0 + rng.normal(0.0, NODE_NOISE_SIGMA, size=(n_nodes, 1))
+
+        chunk = max(1, _DIRECT_CHUNK_CELLS // (n_nodes * cfg.gpus_per_node))
+        for c0 in range(i0, i1, chunk):
+            c1 = min(c0 + chunk, i1)
+            t_rel = times[c0:c1] - begin
+            cpu_u, gpu_u = profile_utilization(profile, t_rel, end - begin)
+            cu = np.clip(cpu_u[None, :] * noise, 0.0, 1.0)
+            gu = np.clip(gpu_u[None, :] * noise, 0.0, 1.0)
+            cpu_util = np.broadcast_to(
+                cu[:, None, :], (n_nodes, cfg.cpus_per_node, c1 - c0)
+            )
+            gpu_util = np.zeros((n_nodes, cfg.gpus_per_node, c1 - c0))
+            gpu_util[:, :k_used, :] = gu[:, None, :]
+            c_w, g_w = model.component_power(nodes, cpu_util, gpu_util)
+            inp = np.minimum(
+                (c_w.sum(axis=1) + g_w.sum(axis=1) + cfg.node_other_w)
+                / cfg.psu_efficiency,
+                cfg.node_max_power_w,
+            )
+            power[c0:c1] += inp.sum(axis=0) - n_nodes * idle_w
+    return times, power

@@ -1,0 +1,151 @@
+"""Thermal time-series datasets (artifact Datasets 8-11).
+
+The MTW operations room (Figure 2) watches a *histogram-based
+component-wise temperature distribution* of the whole platform next to the
+plant telemetry.  These builders produce exactly that: per 10-second
+interval, the number of GPUs in each temperature band, the hot-component
+count, and summary statistics, joined with the cooling-plant channels —
+cluster-wide (Datasets 8-9) or restricted to one job (Datasets 10-11).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.frame.table import Table
+
+#: default temperature band edges (degC) for the operator histogram
+DEFAULT_BANDS: tuple[float, ...] = (30.0, 40.0, 50.0, 55.0, 60.0, 65.0, 70.0)
+
+#: a GPU at or above this core temperature counts as "hot"
+HOT_THRESHOLD_C = 65.0
+
+
+def temperature_band_counts(
+    temps: np.ndarray, bands: tuple[float, ...] = DEFAULT_BANDS
+) -> np.ndarray:
+    """Histogram GPU temperatures into operator bands.
+
+    ``temps`` is any-shape array of component temperatures for one
+    interval; returns ``len(bands) + 1`` counts for ``(-inf, b0), [b0, b1),
+    ..., [b_last, inf)``.  NaNs (lost sensors) are excluded.
+    """
+    t = np.asarray(temps, dtype=np.float64).ravel()
+    t = t[np.isfinite(t)]
+    edges = np.concatenate([[-np.inf], bands, [np.inf]])
+    counts, _ = np.histogram(t, bins=edges)
+    return counts
+
+
+def thermal_cluster_series(
+    twin,
+    t0: float,
+    t1: float,
+    dt: float = 10.0,
+    bands: tuple[float, ...] = DEFAULT_BANDS,
+) -> Table:
+    """Dataset 8/9 analogue: cluster-wide thermal state per interval.
+
+    Columns: ``timestamp``, ``n_reporting`` (GPUs with data), ``n_hot``,
+    ``band_lt_{b}``/``band_ge_{last}`` counts, ``gpu_core_mean``,
+    ``gpu_core_max``, plus the plant channels ``mtwst``/``mtwrt``/``pue``.
+    """
+    arr = twin.builder.build(t0, t1, dt, per_gpu=True)
+    nodes = np.arange(twin.config.n_nodes)
+    st = twin.plant.simulate(
+        arr.times + twin.spec.start_time, arr.cluster_power_w()
+    )
+    temps = twin.thermal.gpu_temperature(
+        nodes, arr.gpu_power_w, st.mtw_supply_c, dt
+    )
+
+    n_t = arr.n_times
+    n_bands = len(bands) + 1
+    band_counts = np.empty((n_t, n_bands), dtype=np.int64)
+    gmean = np.empty(n_t)
+    gmax = np.empty(n_t)
+    n_rep = np.empty(n_t, dtype=np.int64)
+    n_hot = np.empty(n_t, dtype=np.int64)
+    for k in range(n_t):
+        slice_t = temps[:, :, k]
+        finite = slice_t[np.isfinite(slice_t)]
+        band_counts[k] = temperature_band_counts(slice_t, bands)
+        n_rep[k] = finite.size
+        n_hot[k] = int((finite >= HOT_THRESHOLD_C).sum())
+        gmean[k] = finite.mean() if finite.size else np.nan
+        gmax[k] = finite.max() if finite.size else np.nan
+
+    cols: dict[str, np.ndarray] = {
+        "timestamp": arr.times,
+        "n_reporting": n_rep,
+        "n_hot": n_hot,
+        "gpu_core_mean": gmean,
+        "gpu_core_max": gmax,
+    }
+    labels = [f"band_lt_{int(bands[0])}"] + [
+        f"band_{int(a)}_{int(b)}" for a, b in zip(bands[:-1], bands[1:])
+    ] + [f"band_ge_{int(bands[-1])}"]
+    for i, lab in enumerate(labels):
+        cols[lab] = band_counts[:, i]
+    cols["mtwst"] = st.mtw_supply_c
+    cols["mtwrt"] = st.mtw_return_c
+    cols["pue"] = st.pue
+    return Table(cols)
+
+
+def thermal_job_series(
+    twin,
+    allocation_id: int,
+    dt: float = 10.0,
+    bands: tuple[float, ...] = DEFAULT_BANDS,
+) -> Table:
+    """Dataset 10/11 analogue: per-interval thermal state of one job.
+
+    Same columns as :func:`thermal_cluster_series` plus ``allocation_id``,
+    computed over the job's nodes only.
+    """
+    al = twin.schedule.allocations
+    sel = al["allocation_id"] == allocation_id
+    if not sel.any():
+        raise KeyError(f"allocation {allocation_id} never started")
+    begin = float(al["begin_time"][sel][0])
+    end = float(al["end_time"][sel][0])
+    job_nodes = twin.schedule.nodes_of(int(allocation_id))
+
+    arr = twin.builder.build(begin, max(end, begin + dt), dt, per_gpu=True)
+    st = twin.plant.simulate(
+        arr.times + twin.spec.start_time, arr.cluster_power_w()
+    )
+    temps = twin.thermal.gpu_temperature(
+        job_nodes, arr.gpu_power_w[job_nodes], st.mtw_supply_c, dt
+    )
+
+    n_t = arr.n_times
+    band_counts = np.empty((n_t, len(bands) + 1), dtype=np.int64)
+    gmean = np.empty(n_t)
+    gmax = np.empty(n_t)
+    n_hot = np.empty(n_t, dtype=np.int64)
+    for k in range(n_t):
+        slice_t = temps[:, :, k]
+        band_counts[k] = temperature_band_counts(slice_t, bands)
+        finite = slice_t[np.isfinite(slice_t)]
+        n_hot[k] = int((finite >= HOT_THRESHOLD_C).sum())
+        gmean[k] = finite.mean() if finite.size else np.nan
+        gmax[k] = finite.max() if finite.size else np.nan
+
+    cols: dict[str, np.ndarray] = {
+        "allocation_id": np.full(n_t, allocation_id, dtype=np.int64),
+        "timestamp": arr.times,
+        "n_reporting": np.full(n_t, temps[:, :, 0].size, dtype=np.int64),
+        "n_hot": n_hot,
+        "gpu_core_mean": gmean,
+        "gpu_core_max": gmax,
+    }
+    labels = [f"band_lt_{int(bands[0])}"] + [
+        f"band_{int(a)}_{int(b)}" for a, b in zip(bands[:-1], bands[1:])
+    ] + [f"band_ge_{int(bands[-1])}"]
+    for i, lab in enumerate(labels):
+        cols[lab] = band_counts[:, i]
+    cols["mtwst"] = st.mtw_supply_c
+    cols["mtwrt"] = st.mtw_return_c
+    return Table(cols)

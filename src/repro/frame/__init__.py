@@ -1,0 +1,54 @@
+"""Columnar mini-dataframe — the pandas substitute used by the pipeline.
+
+A :class:`Table` is a thin, immutable-by-convention mapping of column names
+to equal-length one-dimensional numpy arrays.  The module provides the verbs
+the paper's pipeline needs — filter, sort, group-by aggregation, hash joins,
+interval (allocation-window) joins, and fixed-width time-window coarsening —
+all implemented with vectorized numpy kernels (``argsort`` + ``reduceat``),
+never per-row Python loops.
+"""
+
+from repro.frame.table import Table, concat, describe
+from repro.frame.ops import factorize, multi_factorize
+from repro.frame.groupby import group_by, AGGREGATIONS
+from repro.frame.join import join, interval_join, asof_join
+from repro.frame.window import window_aggregate, resample_stats
+from repro.frame.rolling import (
+    rolling_mean,
+    rolling_sum,
+    rolling_max,
+    rolling_min,
+    exponential_smooth,
+    value_counts,
+)
+from repro.frame.io import (
+    save_npz,
+    load_npz,
+    write_csv,
+    read_csv,
+)
+
+__all__ = [
+    "Table",
+    "concat",
+    "describe",
+    "factorize",
+    "multi_factorize",
+    "group_by",
+    "AGGREGATIONS",
+    "join",
+    "interval_join",
+    "asof_join",
+    "window_aggregate",
+    "resample_stats",
+    "rolling_mean",
+    "rolling_sum",
+    "rolling_max",
+    "rolling_min",
+    "exponential_smooth",
+    "value_counts",
+    "save_npz",
+    "load_npz",
+    "write_csv",
+    "read_csv",
+]

@@ -1,0 +1,94 @@
+"""Table persistence: compressed NPZ shards and CSV for the log-style data.
+
+NPZ (``numpy.savez_compressed``) plays the role of the paper's parquet files;
+CSV matches the scheduler-allocation and XID-log datasets (C, D, E), which
+the artifact appendix stores as CSV.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.frame.table import Table
+
+
+def save_npz(table: Table, path: str | os.PathLike) -> int:
+    """Write ``table`` to a compressed ``.npz``; returns bytes on disk."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, **table.as_dict())
+    return path.stat().st_size
+
+
+def load_npz(path: str | os.PathLike) -> Table:
+    """Load a table written by :func:`save_npz` (column order = file order)."""
+    with np.load(path, allow_pickle=False) as data:
+        return Table({name: data[name] for name in data.files})
+
+
+def write_csv(table: Table, path: str | os.PathLike) -> int:
+    """Write ``table`` as a headered CSV; returns bytes written.
+
+    Floats use ``repr`` precision; strings must not contain commas or
+    newlines (true of every identifier the twin generates).
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    names = table.columns
+    cols = [table[n] for n in names]
+    for n, c in zip(names, cols):
+        if c.dtype.kind in "US":
+            joined = "".join(c.tolist())
+            if "," in joined or "\n" in joined:
+                raise ValueError(f"string column {n!r} contains CSV delimiters")
+    buf = io.StringIO()
+    buf.write(",".join(names) + "\n")
+    if table.n_rows:
+        fmt_cols = []
+        for c in cols:
+            if c.dtype.kind == "f":
+                fmt_cols.append(np.char.mod("%r", c.astype(object)))
+            else:
+                fmt_cols.append(c.astype(str))
+        rows = np.stack(fmt_cols, axis=1)
+        for row in rows:
+            buf.write(",".join(row) + "\n")
+    data = buf.getvalue()
+    path.write_text(data)
+    return len(data.encode())
+
+
+def _infer_column(raw: list[str]) -> np.ndarray:
+    """Infer int64 / float64 / unicode for a CSV column."""
+    try:
+        return np.array([int(x) for x in raw], dtype=np.int64)
+    except ValueError:
+        pass
+    try:
+        return np.array([float(x) for x in raw], dtype=np.float64)
+    except ValueError:
+        pass
+    return np.array(raw)
+
+
+def read_csv(path: str | os.PathLike) -> Table:
+    """Read a CSV written by :func:`write_csv` with dtype inference."""
+    text = Path(path).read_text()
+    lines = text.splitlines()
+    if not lines:
+        raise ValueError(f"empty CSV file: {path}")
+    names = lines[0].split(",")
+    raw_cols: list[list[str]] = [[] for _ in names]
+    for line in lines[1:]:
+        if not line:
+            continue
+        parts = line.split(",")
+        if len(parts) != len(names):
+            raise ValueError(f"ragged CSV row in {path}: {line!r}")
+        for col, val in zip(raw_cols, parts):
+            col.append(val)
+    return Table({n: _infer_column(c) for n, c in zip(names, raw_cols)})

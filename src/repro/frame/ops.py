@@ -1,0 +1,74 @@
+"""Shared vectorized kernels: factorization of key columns.
+
+Factorization (mapping arbitrary key values to dense integer codes) is the
+core primitive behind group-by and hash joins.  Implemented with
+``numpy.unique`` which sorts once — O(n log n) with no Python-level loop.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+
+def factorize(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Map ``values`` to dense codes.
+
+    Returns ``(uniques, codes)`` where ``uniques`` is sorted and
+    ``uniques[codes] == values``.
+    """
+    values = np.asarray(values)
+    uniques, codes = np.unique(values, return_inverse=True)
+    return uniques, codes.astype(np.intp, copy=False)
+
+
+def multi_factorize(
+    arrays: Sequence[np.ndarray],
+) -> tuple[list[np.ndarray], np.ndarray, int]:
+    """Factorize a composite key of several parallel arrays.
+
+    Returns ``(key_uniques, codes, n_groups)``:
+
+    * ``key_uniques`` — one array per input holding the key value of each
+      group, in group-code order;
+    * ``codes`` — dense group code per row;
+    * ``n_groups`` — number of distinct composite keys.
+
+    Composite codes are built by mixed-radix combination of per-column codes,
+    then re-factorized to be dense.  All arithmetic stays in int64.
+    """
+    if not arrays:
+        raise ValueError("multi_factorize needs at least one key array")
+    per_col: list[tuple[np.ndarray, np.ndarray]] = [factorize(a) for a in arrays]
+    if len(per_col) == 1:
+        uniq, codes = per_col[0]
+        return [uniq], codes, len(uniq)
+
+    # Mixed-radix combine: combined = ((c0 * r1) + c1) * r2 + c2 ...
+    combined = per_col[0][1].astype(np.int64)
+    for uniq, codes in per_col[1:]:
+        radix = max(len(uniq), 1)
+        combined = combined * radix + codes
+    group_keys, group_codes = np.unique(combined, return_inverse=True)
+    group_codes = group_codes.astype(np.intp, copy=False)
+
+    # Representative row per group -> per-column key values for each group.
+    first_row = np.empty(len(group_keys), dtype=np.intp)
+    # reversed so the FIRST occurrence wins
+    first_row[group_codes[::-1]] = np.arange(len(combined) - 1, -1, -1)
+    key_uniques = [
+        uniq[codes[first_row]] for uniq, codes in per_col
+    ]
+    return key_uniques, group_codes, len(group_keys)
+
+
+def group_boundaries(sorted_codes: np.ndarray, n_groups: int) -> np.ndarray:
+    """Start offsets of each group in a code-sorted array.
+
+    ``sorted_codes`` must be non-decreasing and contain every code in
+    ``0..n_groups-1`` at least zero times; returns an ``n_groups`` array of
+    start indices suitable for ``np.add.reduceat`` (empty groups share their
+    successor's offset and must be handled by the caller via counts).
+    """
+    return np.searchsorted(sorted_codes, np.arange(n_groups), side="left")

@@ -1,0 +1,106 @@
+"""Rolling (sliding-window) statistics over regular time series.
+
+The near-real-time dashboards of Figure 2 smooth and envelope the incoming
+streams; these kernels provide that with O(n) sliding sums and
+O(n log n) extrema (monotonic deque, vectorized with numpy where possible).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _check(values: np.ndarray, window: int) -> np.ndarray:
+    v = np.asarray(values, dtype=np.float64)
+    if v.ndim != 1:
+        raise ValueError("rolling kernels take 1-D arrays")
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    return v
+
+
+def rolling_mean(values: np.ndarray, window: int) -> np.ndarray:
+    """Trailing-window mean; the first ``window-1`` entries use the samples
+    available so far (no NaN warm-up, matching live-dashboard semantics)."""
+    v = _check(values, window)
+    if len(v) == 0:
+        return v.copy()
+    csum = np.concatenate([[0.0], np.cumsum(v)])
+    n = len(v)
+    idx = np.arange(1, n + 1)
+    lo = np.maximum(idx - window, 0)
+    return (csum[idx] - csum[lo]) / (idx - lo)
+
+
+def rolling_sum(values: np.ndarray, window: int) -> np.ndarray:
+    """Trailing-window sum with the same warm-up semantics."""
+    v = _check(values, window)
+    if len(v) == 0:
+        return v.copy()
+    csum = np.concatenate([[0.0], np.cumsum(v)])
+    n = len(v)
+    idx = np.arange(1, n + 1)
+    lo = np.maximum(idx - window, 0)
+    return csum[idx] - csum[lo]
+
+
+def _rolling_extreme(v: np.ndarray, window: int, is_max: bool) -> np.ndarray:
+    out = np.empty_like(v)
+    from collections import deque
+
+    dq: deque[int] = deque()
+    for i, x in enumerate(v):
+        if dq and dq[0] <= i - window:
+            dq.popleft()
+        if is_max:
+            while dq and v[dq[-1]] <= x:
+                dq.pop()
+        else:
+            while dq and v[dq[-1]] >= x:
+                dq.pop()
+        dq.append(i)
+        out[i] = v[dq[0]]
+    return out
+
+
+def rolling_max(values: np.ndarray, window: int) -> np.ndarray:
+    """Trailing-window maximum (monotonic deque, O(n))."""
+    v = _check(values, window)
+    if len(v) == 0:
+        return v.copy()
+    return _rolling_extreme(v, window, is_max=True)
+
+
+def rolling_min(values: np.ndarray, window: int) -> np.ndarray:
+    """Trailing-window minimum (monotonic deque, O(n))."""
+    v = _check(values, window)
+    if len(v) == 0:
+        return v.copy()
+    return _rolling_extreme(v, window, is_max=False)
+
+
+def exponential_smooth(values: np.ndarray, alpha: float) -> np.ndarray:
+    """Exponentially weighted moving average, ``y[i] = a*x[i] + (1-a)*y[i-1]``.
+
+    Implemented with ``scipy.signal.lfilter`` (no Python loop).
+    """
+    if not 0.0 < alpha <= 1.0:
+        raise ValueError("alpha must be in (0, 1]")
+    v = np.asarray(values, dtype=np.float64)
+    if len(v) == 0:
+        return v.copy()
+    from scipy.signal import lfilter
+
+    b = np.array([alpha])
+    a = np.array([1.0, alpha - 1.0])
+    zi = np.array([(1.0 - alpha) * v[0]])
+    y, _ = lfilter(b, a, v, zi=zi)
+    return y
+
+
+def value_counts(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """(unique values, counts), sorted by descending count then value."""
+    v = np.asarray(values)
+    uniq, counts = np.unique(v, return_counts=True)
+    order = np.lexsort((uniq, -counts))
+    return uniq[order], counts[order]

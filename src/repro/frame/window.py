@@ -1,0 +1,148 @@
+"""Fixed-width time-window aggregation (the paper's 10-second coarsening).
+
+Section 3 of the paper: 1 Hz per-node samples are coarsened to 10-second
+windows, keeping count/min/max/mean/std per window so that downstream
+cluster-level summation loses no envelope information.  This module provides
+the generic windowed group-by those datasets are built with.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.frame.groupby import group_by
+from repro.frame.table import Table
+
+#: Statistics stored per window (Dataset 0 of the artifact appendix).
+DEFAULT_STATS = ("count", "min", "max", "mean", "std")
+
+
+def window_index(
+    times: np.ndarray, width: float, origin: float = 0.0
+) -> np.ndarray:
+    """Index of the window ``[origin + k*width, origin + (k+1)*width)``
+    containing each timestamp."""
+    if width <= 0:
+        raise ValueError("window width must be positive")
+    return np.floor((np.asarray(times, dtype=np.float64) - origin) / width).astype(
+        np.int64
+    )
+
+
+def window_aggregate(
+    table: Table,
+    *,
+    time: str,
+    width: float,
+    values: Sequence[str],
+    stats: Sequence[str] = DEFAULT_STATS,
+    by: Sequence[str] = (),
+    origin: float = 0.0,
+    out_time: str = "timestamp",
+) -> Table:
+    """Aggregate ``values`` over fixed windows of ``width`` seconds.
+
+    Output has one row per (``by`` group, window), a window-start ``out_time``
+    column, and per value column ``{col}_{stat}`` columns (plus a single
+    shared ``count`` column if ``"count"`` is requested).
+
+    Empty windows simply do not appear (matching the telemetry semantics:
+    BMCs only push on change, the archive stores what arrived).
+    """
+    missing = [c for c in (time, *values, *by) if c not in table]
+    if missing:
+        raise KeyError(f"columns not in table: {missing}")
+    win = window_index(table[time], width, origin)
+    work = table.select(list(by) + list(values)).with_column("_win", win)
+
+    aggs: dict[str, tuple[str, str] | str] = {}
+    for stat in stats:
+        if stat == "count":
+            aggs["count"] = "count"
+            continue
+        for col in values:
+            aggs[f"{col}_{stat}"] = (col, stat)
+
+    grouped = group_by(work, list(by) + ["_win"], aggs)
+    times = grouped["_win"].astype(np.float64) * width + origin
+    return grouped.drop(["_win"]).with_column(out_time, times)
+
+
+def resample_stats(
+    table: Table,
+    *,
+    time: str,
+    width: float,
+    values: Sequence[str],
+    by: Sequence[str] = (),
+    origin: float = 0.0,
+) -> Table:
+    """Shorthand for :func:`window_aggregate` with the paper's five stats."""
+    return window_aggregate(
+        table,
+        time=time,
+        width=width,
+        values=values,
+        stats=DEFAULT_STATS,
+        by=by,
+        origin=origin,
+    )
+
+
+def recoarsen(
+    coarse: Table,
+    *,
+    time: str,
+    width: float,
+    values: Sequence[str],
+    by: Sequence[str] = (),
+    origin: float = 0.0,
+) -> Table:
+    """Coarsen an already-coarsened stats table to wider windows.
+
+    Combines per-window ``{col}_count/min/max/mean/std`` columns exactly
+    (counts add, minima of minima, pooled mean/variance) rather than
+    approximating from means — the same trick the paper's Dask pipeline uses
+    when collapsing Dataset 0 into cluster-level series.
+
+    Expects ``coarse`` to carry a shared ``count`` column.
+    """
+    win = window_index(coarse[time], width, origin)
+    work = coarse.with_column("_win", win)
+    n = work["count"].astype(np.float64)
+
+    # Pre-compute weighted moments so plain sums recombine them.
+    prepared: dict[str, np.ndarray] = {"_win": work["_win"], "count": work["count"]}
+    for col in values:
+        mean = work[f"{col}_mean"].astype(np.float64)
+        std = work[f"{col}_std"].astype(np.float64)
+        prepared[f"{col}_min"] = work[f"{col}_min"]
+        prepared[f"{col}_max"] = work[f"{col}_max"]
+        prepared[f"_{col}_wsum"] = mean * n
+        prepared[f"_{col}_wsq"] = (std * std + mean * mean) * n
+    for key in by:
+        prepared[key] = work[key]
+    prep = Table(prepared)
+
+    aggs: dict[str, tuple[str, str] | str] = {"count": ("count", "sum")}
+    for col in values:
+        aggs[f"{col}_min"] = (f"{col}_min", "min")
+        aggs[f"{col}_max"] = (f"{col}_max", "max")
+        aggs[f"_{col}_wsum"] = (f"_{col}_wsum", "sum")
+        aggs[f"_{col}_wsq"] = (f"_{col}_wsq", "sum")
+
+    grouped = group_by(prep, list(by) + ["_win"], aggs)
+    total = grouped["count"].astype(np.float64)
+    out = {k: grouped[k] for k in list(by) + ["count"]}
+    out["timestamp"] = grouped["_win"].astype(np.float64) * width + origin
+    for col in values:
+        mean = grouped[f"_{col}_wsum"] / total
+        second = grouped[f"_{col}_wsq"] / total
+        var = np.maximum(second - mean * mean, 0.0)
+        out[f"{col}_min"] = grouped[f"{col}_min"]
+        out[f"{col}_max"] = grouped[f"{col}_max"]
+        out[f"{col}_mean"] = mean
+        out[f"{col}_std"] = np.sqrt(var)
+    return Table(out)

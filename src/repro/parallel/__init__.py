@@ -1,0 +1,39 @@
+"""Partitioned-dataset parallel execution — the Dask substitute.
+
+The paper's pipeline ran on Dask: a year of 1 Hz telemetry stored as one
+parquet file per day, processed with map-partition / tree-reduce idioms.
+This package reproduces exactly that execution model:
+
+* :class:`~repro.parallel.partition.PartitionedDataset` — a directory of
+  time-partitioned NPZ shards with a JSON manifest,
+* :class:`~repro.parallel.executor.Executor` — serial / thread / process
+  map engine,
+* :class:`~repro.parallel.graph.TaskGraph` — explicit DAG execution for
+  multi-stage pipelines,
+* :func:`~repro.parallel.algorithms.map_partitions`,
+  :func:`~repro.parallel.algorithms.tree_reduce`, and
+  :func:`~repro.parallel.algorithms.grouped_aggregate` — the combiner-based
+  distributed group-by the cluster-level collapses use.
+"""
+
+from repro.parallel.executor import Executor
+from repro.parallel.graph import TaskGraph, CycleError
+from repro.parallel.partition import PartitionedDataset, PartitionMeta
+from repro.parallel.algorithms import (
+    map_partitions,
+    map_partitions_to_dataset,
+    tree_reduce,
+    grouped_aggregate,
+)
+
+__all__ = [
+    "Executor",
+    "TaskGraph",
+    "CycleError",
+    "PartitionedDataset",
+    "PartitionMeta",
+    "map_partitions",
+    "map_partitions_to_dataset",
+    "tree_reduce",
+    "grouped_aggregate",
+]

@@ -1,0 +1,76 @@
+"""Map engine with serial, thread, and process backends.
+
+Threads are the default: the hot kernels are numpy reductions that release
+the GIL, so thread-parallel map over partitions scales without the pickling
+cost of processes.  The process backend exists for pure-Python-heavy stages
+and requires module-level (picklable) functions.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Callable, Iterable, Sequence
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any
+
+_BACKENDS = ("serial", "threads", "processes")
+
+
+def default_workers() -> int:
+    """Worker count heuristic: physical parallelism minus one, at least 1."""
+    return max(1, (os.cpu_count() or 2) - 1)
+
+
+class Executor:
+    """Execute ``fn`` over items with a chosen backend.
+
+    Parameters
+    ----------
+    backend:
+        ``"serial"``, ``"threads"``, or ``"processes"``.
+    max_workers:
+        Pool size; defaults to :func:`default_workers`.
+    """
+
+    def __init__(self, backend: str = "threads", max_workers: int | None = None):
+        if backend not in _BACKENDS:
+            raise ValueError(f"backend must be one of {_BACKENDS}, got {backend!r}")
+        self.backend = backend
+        self.max_workers = max_workers or default_workers()
+
+    def __repr__(self) -> str:
+        return f"Executor(backend={self.backend!r}, max_workers={self.max_workers})"
+
+    def map(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> list[Any]:
+        """Apply ``fn`` to each item, preserving input order.
+
+        Exceptions raised by ``fn`` propagate to the caller (fail-fast):
+        a failed partition must abort the analysis rather than silently
+        produce a truncated year.
+        """
+        items = list(items)
+        if self.backend == "serial" or len(items) <= 1:
+            return [fn(it) for it in items]
+        if self.backend == "threads":
+            with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+                return list(pool.map(fn, items))
+        with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+            return list(pool.map(fn, items))
+
+    def starmap(
+        self, fn: Callable[..., Any], arg_tuples: Sequence[tuple]
+    ) -> list[Any]:
+        """Like :meth:`map` but unpacks each tuple into positional args."""
+        return self.map(_StarCall(fn), list(arg_tuples))
+
+
+class _StarCall:
+    """Picklable ``fn(*args)`` adapter (lambdas do not survive processes)."""
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn: Callable[..., Any]):
+        self.fn = fn
+
+    def __call__(self, args: tuple) -> Any:
+        return self.fn(*args)

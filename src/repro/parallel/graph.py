@@ -1,0 +1,124 @@
+"""Explicit task-graph execution (Kahn topological order, level-parallel).
+
+Multi-stage pipelines (coarsen -> join -> collapse -> report) declare their
+stages as named tasks with dependencies; independent tasks at the same depth
+run through the :class:`~repro.parallel.executor.Executor` concurrently.
+Results are memoized by task name and fed to dependents positionally.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from typing import Any
+
+from repro.parallel.executor import Executor
+
+
+class CycleError(ValueError):
+    """The task graph contains a dependency cycle."""
+
+
+class TaskGraph:
+    """A DAG of named tasks.
+
+    Each task is ``fn(*dep_results, *extra_args)`` where ``dep_results`` are
+    the return values of its dependencies in declaration order.
+    """
+
+    def __init__(self) -> None:
+        self._fns: dict[str, Callable[..., Any]] = {}
+        self._deps: dict[str, list[str]] = {}
+        self._args: dict[str, tuple] = {}
+
+    def add(
+        self,
+        name: str,
+        fn: Callable[..., Any],
+        deps: Sequence[str] = (),
+        args: tuple = (),
+    ) -> "TaskGraph":
+        """Register a task; returns self for chaining."""
+        if name in self._fns:
+            raise ValueError(f"duplicate task {name!r}")
+        for d in deps:
+            if d not in self._fns:
+                raise ValueError(f"task {name!r} depends on unknown task {d!r}")
+        self._fns[name] = fn
+        self._deps[name] = list(deps)
+        self._args[name] = tuple(args)
+        return self
+
+    @property
+    def tasks(self) -> list[str]:
+        """Task names in insertion order."""
+        return list(self._fns)
+
+    def levels(self) -> list[list[str]]:
+        """Topological levels: tasks in level *k* depend only on levels < k.
+
+        Raises :class:`CycleError` if the graph is cyclic.
+        """
+        indeg = {n: len(ds) for n, ds in self._deps.items()}
+        dependents: dict[str, list[str]] = {n: [] for n in self._fns}
+        for n, ds in self._deps.items():
+            for d in ds:
+                dependents[d].append(n)
+        frontier = [n for n, k in indeg.items() if k == 0]
+        out: list[list[str]] = []
+        seen = 0
+        while frontier:
+            out.append(frontier)
+            seen += len(frontier)
+            nxt: list[str] = []
+            for n in frontier:
+                for m in dependents[n]:
+                    indeg[m] -= 1
+                    if indeg[m] == 0:
+                        nxt.append(m)
+            frontier = nxt
+        if seen != len(self._fns):
+            stuck = sorted(n for n, k in indeg.items() if k > 0)
+            raise CycleError(f"cycle involving tasks {stuck}")
+        return out
+
+    def run(
+        self, executor: Executor | None = None, targets: Sequence[str] | None = None
+    ) -> dict[str, Any]:
+        """Execute the graph; returns {task name: result}.
+
+        With ``targets``, only the ancestors of the targets execute.
+        """
+        executor = executor or Executor(backend="serial")
+        wanted = self._closure(targets) if targets is not None else set(self._fns)
+        results: dict[str, Any] = {}
+        for level in self.levels():
+            level = [n for n in level if n in wanted]
+            if not level:
+                continue
+            calls = [
+                (self._fns[n], [results[d] for d in self._deps[n]], self._args[n])
+                for n in level
+            ]
+            outs = executor.map(_run_one, calls)
+            for n, r in zip(level, outs):
+                results[n] = r
+        return results
+
+    def _closure(self, targets: Sequence[str]) -> set[str]:
+        for t in targets:
+            if t not in self._fns:
+                raise KeyError(f"unknown target task {t!r}")
+        out: set[str] = set()
+        stack = list(targets)
+        while stack:
+            n = stack.pop()
+            if n in out:
+                continue
+            out.add(n)
+            stack.extend(self._deps[n])
+        return out
+
+
+def _run_one(call: tuple) -> Any:
+    fn, dep_results, args = call
+    return fn(*dep_results, *args)

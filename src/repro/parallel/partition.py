@@ -1,0 +1,145 @@
+"""Time-partitioned on-disk datasets (one NPZ shard per partition).
+
+The analogue of the paper's "one parquet file per day": a directory holding
+numbered compressed shards plus a JSON manifest recording each shard's time
+range, row count, and byte size.  Shards are read lazily, so a year-scale
+dataset never has to fit in memory at once.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, asdict
+from pathlib import Path
+
+from repro.frame.io import load_npz, save_npz
+from repro.frame.table import Table, concat
+
+_MANIFEST = "manifest.json"
+
+
+@dataclass(frozen=True)
+class PartitionMeta:
+    """Manifest entry for one shard."""
+
+    index: int
+    filename: str
+    t_begin: float
+    t_end: float
+    n_rows: int
+    n_bytes: int
+
+
+class PartitionedDataset:
+    """A directory of ordered table shards.
+
+    Create with :meth:`create`, append shards with :meth:`append`, and open
+    an existing one with the constructor.
+    """
+
+    def __init__(self, root: str | os.PathLike):
+        self.root = Path(root)
+        manifest = self.root / _MANIFEST
+        if not manifest.exists():
+            raise FileNotFoundError(
+                f"no dataset at {self.root} (missing {_MANIFEST}); "
+                "use PartitionedDataset.create()"
+            )
+        raw = json.loads(manifest.read_text())
+        self.name: str = raw["name"]
+        self.partitions: list[PartitionMeta] = [
+            PartitionMeta(**p) for p in raw["partitions"]
+        ]
+
+    # ---------------- creation ----------------
+
+    @classmethod
+    def create(cls, root: str | os.PathLike, name: str) -> "PartitionedDataset":
+        """Initialize an empty dataset directory (fails if one exists)."""
+        root = Path(root)
+        manifest = root / _MANIFEST
+        if manifest.exists():
+            raise FileExistsError(f"dataset already exists at {root}")
+        root.mkdir(parents=True, exist_ok=True)
+        manifest.write_text(json.dumps({"name": name, "partitions": []}))
+        return cls(root)
+
+    def append(self, table: Table, t_begin: float, t_end: float) -> PartitionMeta:
+        """Write ``table`` as the next shard covering ``[t_begin, t_end)``.
+
+        Shards must be appended in time order (enforced) so that binary
+        search over the manifest stays valid.
+        """
+        if self.partitions and t_begin < self.partitions[-1].t_end:
+            raise ValueError(
+                f"partition [{t_begin}, {t_end}) overlaps previous "
+                f"(ends at {self.partitions[-1].t_end})"
+            )
+        if t_end <= t_begin:
+            raise ValueError("partition must have positive time extent")
+        idx = len(self.partitions)
+        fname = f"part-{idx:05d}.npz"
+        n_bytes = save_npz(table, self.root / fname)
+        meta = PartitionMeta(idx, fname, float(t_begin), float(t_end),
+                             table.n_rows, n_bytes)
+        self.partitions.append(meta)
+        self._flush()
+        return meta
+
+    def _flush(self) -> None:
+        (self.root / _MANIFEST).write_text(
+            json.dumps(
+                {"name": self.name, "partitions": [asdict(p) for p in self.partitions]}
+            )
+        )
+
+    # ---------------- access ----------------
+
+    @property
+    def n_partitions(self) -> int:
+        return len(self.partitions)
+
+    @property
+    def n_rows(self) -> int:
+        """Total rows across shards (from the manifest, no I/O)."""
+        return sum(p.n_rows for p in self.partitions)
+
+    @property
+    def n_bytes(self) -> int:
+        """Total compressed bytes on disk."""
+        return sum(p.n_bytes for p in self.partitions)
+
+    @property
+    def time_range(self) -> tuple[float, float]:
+        """(first shard begin, last shard end); (0, 0) when empty."""
+        if not self.partitions:
+            return (0.0, 0.0)
+        return (self.partitions[0].t_begin, self.partitions[-1].t_end)
+
+    def read(self, index: int) -> Table:
+        """Load one shard."""
+        meta = self.partitions[index]
+        return load_npz(self.root / meta.filename)
+
+    def __iter__(self):
+        for i in range(self.n_partitions):
+            yield self.read(i)
+
+    def shard_path(self, index: int) -> Path:
+        """Filesystem path of one shard (for process-backend workers)."""
+        return self.root / self.partitions[index].filename
+
+    def select_time(self, t_begin: float, t_end: float) -> list[int]:
+        """Indices of shards overlapping ``[t_begin, t_end)``."""
+        return [
+            p.index
+            for p in self.partitions
+            if p.t_begin < t_end and p.t_end > t_begin
+        ]
+
+    def to_table(self) -> Table:
+        """Materialize the whole dataset (small datasets / tests only)."""
+        if not self.partitions:
+            raise ValueError("empty dataset")
+        return concat([self.read(i) for i in range(self.n_partitions)])

@@ -1,0 +1,130 @@
+"""Unit tests for the central energy plant."""
+
+import numpy as np
+import pytest
+
+from repro.config import SUMMIT, fahrenheit_to_celsius
+from repro.cooling import CentralEnergyPlant, Weather
+from repro.cooling.weather import SECONDS_PER_DAY, SECONDS_PER_YEAR
+
+
+@pytest.fixture(scope="module")
+def plant():
+    return CentralEnergyPlant(SUMMIT, Weather(0))
+
+
+class TestTrimFraction:
+    def test_cold_no_trim(self, plant):
+        assert plant.required_trim_fraction(np.array([5.0]))[0] == 0.0
+
+    def test_hot_full_trim(self, plant):
+        assert plant.required_trim_fraction(np.array([25.0]))[0] == 1.0
+
+    def test_monotonic(self, plant):
+        wb = np.linspace(0, 30, 100)
+        assert np.all(np.diff(plant.required_trim_fraction(wb)) >= 0)
+
+
+class TestSimulate:
+    def test_steady_state_balance(self, plant):
+        t = np.arange(0, 4 * 3600.0, 10.0)
+        st = plant.simulate(t, np.full_like(t, 6e6))
+        # after spin-up, capacity matches load: return temp steady
+        tail = st.mtw_return_c[-100:]
+        assert tail.std() < 0.05
+        assert st.pue[-1] > 1.0
+
+    def test_return_above_supply(self, plant):
+        t = np.arange(0, 3600.0, 10.0)
+        st = plant.simulate(t, np.full_like(t, 8e6))
+        assert np.all(st.mtw_return_c >= st.mtw_supply_c - 1e-9)
+
+    def test_return_temp_scales_with_load(self, plant):
+        t = np.arange(0, 2 * 3600.0, 10.0)
+        lo = plant.simulate(t, np.full_like(t, 3e6)).mtw_return_c[-1]
+        hi = plant.simulate(t, np.full_like(t, 12e6)).mtw_return_c[-1]
+        assert hi > lo + 5.0
+
+    def test_full_load_return_near_100f(self, plant):
+        t = np.arange(0, 2 * 3600.0, 10.0)
+        st = plant.simulate(t, np.full_like(t, 13e6))
+        ret_f = st.mtw_return_c[-1] * 9 / 5 + 32
+        assert 95.0 < ret_f < 110.0
+
+    def test_staging_lag_about_a_minute(self, plant):
+        """Section 5: ~1 minute before tons of refrigeration respond."""
+        t = np.arange(0, 1800.0, 10.0)
+        power = np.where(t < 600, 3e6, 9e6)
+        st = plant.simulate(t, power)
+        tons = st.tower_tons + st.chiller_tons
+        base = tons[55]
+        step = int(600 / 10)
+        # response has NOT moved much 30 s after the edge
+        assert tons[step + 3] - base < 0.3 * (tons[-1] - base)
+        # but clearly has 3 minutes after
+        assert tons[step + 18] - base > 0.5 * (tons[-1] - base)
+
+    def test_destaging_slower_than_staging(self, plant):
+        t = np.arange(0, 7200.0, 10.0)
+        up = np.where(t < 3600, 3e6, 9e6)
+        down = np.where(t < 3600, 9e6, 3e6)
+        span = 6e6
+        st_up = plant.simulate(t, up)
+        st_dn = plant.simulate(t, down)
+        tons_up = st_up.tower_tons + st_up.chiller_tons
+        tons_dn = st_dn.tower_tons + st_dn.chiller_tons
+        k = int(3600 / 10) + 30  # 5 minutes after the edge
+
+        def progress(tons, start, end):
+            return abs(tons[k] - tons[start]) / max(abs(tons[end] - tons[start]), 1e-9)
+
+        assert progress(tons_up, int(3600 / 10) - 1, -1) > progress(
+            tons_dn, int(3600 / 10) - 1, -1
+        ) + 0.2
+
+    def test_pue_inverse_to_power(self, plant):
+        """Figures 11-12: PUE is inversely proportional to IT power."""
+        t = np.arange(0, 3600.0, 10.0)
+        lo = plant.simulate(t, np.full_like(t, 3e6)).pue[-1]
+        hi = plant.simulate(t, np.full_like(t, 10e6)).pue[-1]
+        assert hi < lo
+
+    def test_forced_chillers_raise_pue(self, plant):
+        """The February maintenance (100% chilled water) -> PUE ~1.3."""
+        t = np.arange(30 * SECONDS_PER_DAY, 30 * SECONDS_PER_DAY + 86400.0, 60.0)
+        it = np.full_like(t, 5.5e6)
+        free = plant.simulate(t, it)
+        forced = plant.simulate(t, it, chiller_forced=np.ones_like(t))
+        assert forced.pue.mean() > free.pue.mean() + 0.05
+        assert 1.2 < forced.pue.mean() < 1.4
+
+    def test_annual_pue_calibration(self, plant):
+        t = np.arange(0, SECONDS_PER_YEAR, 600.0)
+        st = plant.simulate(t, np.full_like(t, 5.5e6))
+        w = Weather(0)
+        summer = w.summer_mask(t)
+        assert 1.08 < st.pue.mean() < 1.16          # paper: 1.11
+        assert 1.17 < st.pue[summer].mean() < 1.27  # paper: 1.22
+        active = (st.chiller_tons > 0).mean()
+        assert 0.12 < active < 0.32                 # paper: ~20% of the year
+
+    def test_supply_setpoint_honored(self, plant):
+        t = np.arange(0, 86400.0, 60.0)
+        st = plant.simulate(t, np.full_like(t, 5e6))
+        setp = fahrenheit_to_celsius(70.0)
+        assert np.all(np.abs(st.mtw_supply_c - setp) < 4.5)
+
+    def test_mismatched_shapes(self, plant):
+        with pytest.raises(ValueError):
+            plant.simulate(np.arange(10.0), np.zeros(5))
+
+    def test_uneven_times_rejected(self, plant):
+        t = np.array([0.0, 1.0, 5.0])
+        with pytest.raises(ValueError, match="evenly"):
+            plant.simulate(t, np.zeros(3))
+
+    def test_to_columns(self, plant):
+        t = np.arange(0, 600.0, 10.0)
+        st = plant.simulate(t, np.full_like(t, 5e6))
+        cols = st.to_columns()
+        assert set(cols) >= {"timestamp", "mtwst", "mtwrt", "pue"}

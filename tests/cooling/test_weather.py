@@ -1,0 +1,78 @@
+"""Unit tests for the weather model."""
+
+import numpy as np
+import pytest
+
+from repro.cooling import Weather
+from repro.cooling.weather import SECONDS_PER_DAY, SECONDS_PER_YEAR
+
+
+@pytest.fixture(scope="module")
+def weather():
+    return Weather(seed=0)
+
+
+@pytest.fixture(scope="module")
+def year(weather):
+    t = np.arange(0, SECONDS_PER_YEAR, 3600.0)
+    return t, weather.dry_bulb_c(t), weather.wet_bulb_c(t)
+
+
+class TestSeasonality:
+    def test_summer_warmer_than_winter(self, year):
+        t, db, _ = year
+        jan = db[t < 31 * SECONDS_PER_DAY]
+        jul = db[(t > 181 * SECONDS_PER_DAY) & (t < 212 * SECONDS_PER_DAY)]
+        assert jul.mean() - jan.mean() > 15.0
+
+    def test_tennessee_ranges(self, year):
+        _, db, wb = year
+        assert -15 < db.min() < 5
+        assert 28 < db.max() < 42
+        assert wb.max() < 30.0
+
+    def test_wet_bulb_below_dry_bulb(self, year):
+        _, db, wb = year
+        assert np.all(wb < db)
+
+    def test_diurnal_cycle(self, weather):
+        # afternoon warmer than pre-dawn on the same summer day
+        day = 200 * SECONDS_PER_DAY
+        pre_dawn = weather.dry_bulb_c(np.array([day + 4 * 3600.0]))[0]
+        afternoon = weather.dry_bulb_c(np.array([day + 15 * 3600.0]))[0]
+        assert afternoon > pre_dawn + 3.0
+
+    def test_summer_wet_bulb_forces_chillers(self, weather, year):
+        """Summer wet bulb must frequently exceed the ~17.6 degC level
+        beyond which towers cannot reach the MTW setpoint."""
+        t, _, wb = year
+        summer = weather.summer_mask(t)
+        assert (wb[summer] > 17.6).mean() > 0.3
+        winter = t < 60 * SECONDS_PER_DAY
+        assert (wb[winter] > 17.6).mean() < 0.02
+
+
+class TestDeterminism:
+    def test_seed_reproducible(self):
+        t = np.arange(0, 10 * SECONDS_PER_DAY, 600.0)
+        assert np.array_equal(Weather(3).dry_bulb_c(t), Weather(3).dry_bulb_c(t))
+
+    def test_seed_changes_noise(self):
+        t = np.arange(0, 10 * SECONDS_PER_DAY, 600.0)
+        assert not np.array_equal(Weather(3).dry_bulb_c(t), Weather(4).dry_bulb_c(t))
+
+    def test_pointwise_evaluation(self, weather):
+        """Any window is computable without simulating from t=0."""
+        t = np.array([123_456.0, 20_000_000.0])
+        a = weather.dry_bulb_c(t)
+        b = np.array([weather.dry_bulb_c(np.array([x]))[0] for x in t])
+        assert np.allclose(a, b)
+
+
+class TestSummerMask:
+    def test_window_bounds(self, weather):
+        d = SECONDS_PER_DAY
+        assert not weather.summer_mask(np.array([203.0 * d]))[0]
+        assert weather.summer_mask(np.array([205.0 * d]))[0]
+        assert weather.summer_mask(np.array([270.0 * d]))[0]
+        assert not weather.summer_mask(np.array([280.0 * d]))[0]

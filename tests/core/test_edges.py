@@ -1,0 +1,176 @@
+"""Unit tests for edge detection, durations, and snapshot superposition."""
+
+import numpy as np
+import pytest
+
+from repro.core.edges import (
+    amplitude_class_mw,
+    detect_edges,
+    edges_per_job,
+    extract_snapshot,
+    superimpose,
+)
+from repro.frame import Table
+
+
+def series(values, dt=10.0):
+    v = np.asarray(values, dtype=np.float64)
+    return np.arange(len(v)) * dt, v
+
+
+class TestDetect:
+    def test_no_edges_in_flat_series(self):
+        t, p = series([100.0] * 20)
+        assert detect_edges(t, p, 50.0).n_rows == 0
+
+    def test_single_rising_edge(self):
+        t, p = series([100, 100, 100, 900, 900, 900, 900])
+        e = detect_edges(t, p, 500.0)
+        assert e.n_rows == 1
+        assert e["direction"][0] == 1
+        assert e["amplitude_w"][0] == 800.0
+        assert e["time"][0] == 20.0
+
+    def test_single_falling_edge(self):
+        t, p = series([900, 900, 100, 100])
+        e = detect_edges(t, p, 500.0)
+        assert e.n_rows == 1
+        assert e["direction"][0] == -1
+        assert e["amplitude_w"][0] == -800.0
+
+    def test_multi_step_edge_merges(self):
+        """A swing spread over consecutive steps is ONE edge with the
+        cumulative amplitude."""
+        t, p = series([100, 700, 1300, 1900, 1900])
+        e = detect_edges(t, p, 500.0)
+        assert e.n_rows == 1
+        assert e["amplitude_w"][0] == 1800.0
+
+    def test_rise_then_fall(self):
+        t, p = series([100, 900, 900, 900, 100, 100])
+        e = detect_edges(t, p, 500.0)
+        assert e.n_rows == 2
+        assert np.array_equal(e["direction"], [1, -1])
+
+    def test_subthreshold_change_ignored(self):
+        t, p = series([100, 400, 700, 1000])
+        assert detect_edges(t, p, 500.0).n_rows == 0
+
+    def test_duration_80_percent_return(self):
+        # rise 100 -> 1100 at step 1, return at value <= 1100 - 0.8*1000 = 300
+        t, p = series([100, 1100, 1100, 800, 500, 250, 100])
+        e = detect_edges(t, p, 500.0)
+        assert e.n_rows == 1
+        assert e["returned"][0]
+        # start at t=0 (step index 0), return at index 5 (value 250)
+        assert e["duration_s"][0] == 50.0
+
+    def test_duration_tracks_running_peak(self):
+        # power keeps climbing after the edge; peak updates
+        t, p = series([100, 1100, 2100, 2100, 900, 300, 290])
+        e = detect_edges(t, p, 500.0)
+        # target = 2100 - 0.8*(2100-100) = 500 -> first hit at index 5
+        assert e["peak_w"][0] == 2100.0
+        assert e["duration_s"][0] == 50.0
+
+    def test_truncated_duration(self):
+        """Never returning -> duration runs to the series end (the class-5
+        wall-limit kink of Figure 10)."""
+        t, p = series([100, 1100, 1100, 1100])
+        e = detect_edges(t, p, 500.0)
+        assert not e["returned"][0]
+        assert e["duration_s"][0] == 30.0
+
+    def test_falling_edge_duration(self):
+        t, p = series([1100, 100, 100, 500, 900, 950])
+        e = detect_edges(t, p, 500.0)
+        # target = 100 + 0.8*(1100-100) = 900 -> hit at index 4
+        assert e["direction"][0] == -1
+        assert e["returned"][0]
+        assert e["duration_s"][0] == 40.0
+
+    def test_short_series(self):
+        assert detect_edges(np.array([0.0]), np.array([1.0]), 1.0).n_rows == 0
+
+    def test_misaligned_raises(self):
+        with pytest.raises(ValueError):
+            detect_edges(np.arange(3.0), np.arange(4.0), 1.0)
+
+
+class TestEdgesPerJob:
+    def test_threshold_scales_with_nodes(self):
+        # same per-node swing; job A (1 node) crosses its threshold,
+        # job B's (10 nodes) total swing is below 10x threshold
+        js = Table(
+            {
+                "allocation_id": np.array([1] * 4 + [2] * 4, dtype=np.int64),
+                "timestamp": np.tile(np.arange(4) * 10.0, 2),
+                "count_hostname": np.array([1] * 4 + [10] * 4, dtype=np.int64),
+                "sum_inp": np.array(
+                    [500, 1500, 1500, 1500,           # 1 node: +1000 > 868
+                     5000, 6000, 6000, 6000],         # 10 nodes: +1000 < 8680
+                    dtype=np.float64,
+                ),
+            }
+        )
+        edges, per_job = edges_per_job(js)
+        pj = {int(a): int(n) for a, n in zip(per_job["allocation_id"], per_job["n_edges"])}
+        assert pj[1] == 1
+        assert pj[2] == 0
+        assert np.all(edges["allocation_id"] == 1)
+
+    def test_rising_falling_split(self):
+        js = Table(
+            {
+                "allocation_id": np.ones(6, dtype=np.int64),
+                "timestamp": np.arange(6) * 10.0,
+                "count_hostname": np.ones(6, dtype=np.int64),
+                "sum_inp": np.array([100, 1100, 1100, 100, 100, 1100.0]),
+            }
+        )
+        _, per_job = edges_per_job(js)
+        assert per_job["n_rising"][0] == 2
+        assert per_job["n_falling"][0] == 1
+
+    def test_every_job_reported(self, job_series):
+        _, per_job = edges_per_job(job_series)
+        assert per_job.n_rows == len(np.unique(job_series["allocation_id"]))
+
+    def test_most_jobs_edge_free(self, job_series):
+        """The paper: 96.9% of jobs experience no edges."""
+        _, per_job = edges_per_job(job_series)
+        frac = (per_job["n_edges"] == 0).mean()
+        assert frac > 0.85
+
+
+class TestSnapshots:
+    def test_extract_centered(self):
+        t = np.arange(10) * 10.0
+        v = np.arange(10.0)
+        snap = extract_snapshot(t, v, center_time=50.0, before_s=20.0, after_s=30.0)
+        assert len(snap) == 6
+        assert np.array_equal(snap, [3, 4, 5, 6, 7, 8])
+
+    def test_extract_pads_nan(self):
+        t = np.arange(5) * 10.0
+        v = np.arange(5.0)
+        snap = extract_snapshot(t, v, center_time=10.0, before_s=30.0, after_s=10.0)
+        assert np.isnan(snap[0]) and np.isnan(snap[1])
+        assert np.array_equal(snap[2:], [0, 1, 2])
+
+    def test_superimpose_mean_ci(self):
+        snaps = np.array([[1.0, 2.0, 3.0], [3.0, 4.0, 5.0]])
+        out = superimpose(snaps)
+        assert np.allclose(out["mean"], [2, 3, 4])
+        assert np.all(out["ci95"] > 0)
+        assert np.array_equal(out["count"], [2, 2, 2])
+
+    def test_superimpose_nan_aware(self):
+        snaps = np.array([[1.0, np.nan], [3.0, 4.0]])
+        out = superimpose(snaps)
+        assert out["mean"][1] == 4.0
+        assert out["count"][1] == 1
+
+    def test_amplitude_class(self):
+        a = amplitude_class_mw(np.array([0.5e6, -1.2e6, 7.3e6]))
+        assert np.array_equal(a, [0, 1, 7])

@@ -1,0 +1,63 @@
+"""Unit tests for the cross-correlation lag estimator."""
+
+import numpy as np
+import pytest
+
+from repro.core.lag import estimate_lag_s
+
+
+def step(n, at, lo=0.0, hi=1.0):
+    x = np.full(n, lo)
+    x[at:] = hi
+    return x
+
+
+class TestEstimateLag:
+    def test_known_shift(self):
+        driver = step(200, 50, 0, 1e6)
+        response = step(200, 56, 0, 300.0)
+        lag, corr = estimate_lag_s(driver, response, dt=10.0, max_lag_s=300.0)
+        assert lag == pytest.approx(60.0)
+        assert corr > 0.9
+
+    def test_zero_lag(self):
+        x = np.sin(np.linspace(0, 20, 300))
+        lag, corr = estimate_lag_s(x, x * 5 + 3, dt=10.0, max_lag_s=200.0)
+        assert lag == 0.0
+        assert corr > 0.99
+
+    def test_lagged_smooth_response(self):
+        rngs = np.random.default_rng(0)
+        x = np.cumsum(rngs.normal(0, 1, 500))
+        k = 9
+        y = np.concatenate([np.zeros(k), x[:-k]])
+        lag, corr = estimate_lag_s(x, y, dt=10.0, max_lag_s=200.0)
+        assert lag == pytest.approx(90.0)
+        assert corr > 0.9
+
+    def test_plant_staging_lag_about_a_minute(self):
+        """The Figure 12 quantity: plant tonnage lags IT power by ~1 min."""
+        from repro.config import SUMMIT
+        from repro.cooling import CentralEnergyPlant, Weather
+
+        plant = CentralEnergyPlant(SUMMIT, Weather(0))
+        t = np.arange(0, 4 * 3600.0, 10.0)
+        rngs = np.random.default_rng(1)
+        power = 5e6 + 2e6 * (np.sin(2 * np.pi * t / 1800.0) > 0)
+        st = plant.simulate(t, power)
+        tons_w = (st.tower_tons + st.chiller_tons) * 3517.0
+        lag, corr = estimate_lag_s(power, tons_w, dt=10.0, max_lag_s=300.0)
+        assert 30.0 <= lag <= 150.0
+        assert corr > 0.3
+
+    def test_constant_series_nan(self):
+        lag, corr = estimate_lag_s(np.ones(50), np.ones(50), 10.0, 100.0)
+        assert np.isnan(lag)
+
+    def test_too_short(self):
+        lag, _ = estimate_lag_s(np.arange(3.0), np.arange(3.0), 10.0, 100.0)
+        assert np.isnan(lag)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            estimate_lag_s(np.arange(5.0), np.arange(6.0), 10.0, 100.0)

@@ -1,0 +1,72 @@
+"""Unit tests for MSB validation and PUE summaries."""
+
+import numpy as np
+import pytest
+
+from repro.core.pue import pue_series, weekly_summary
+from repro.core.validation import msb_validation
+
+
+class TestMsbValidation:
+    def make(self, rng, n_msb=3, n_t=500, offset=-5000.0):
+        base = 1e6 + 5e4 * np.sin(np.linspace(0, 20, n_t))
+        meter = np.stack([base + m * 1e4 for m in range(n_msb)])
+        summation = meter + offset + rng.normal(0, 500.0, meter.shape)
+        return meter, summation
+
+    def test_mean_diff_recovered(self, rng):
+        meter, summ = self.make(rng)
+        out = msb_validation(meter, summ)
+        assert out["mean_diff_w"] == pytest.approx(-15_000.0, rel=0.05)
+
+    def test_relative_diff(self, rng):
+        meter, summ = self.make(rng)
+        out = msb_validation(meter, summ)
+        assert out["relative_diff"] == pytest.approx(15_000 / 3.03e6, rel=0.1)
+
+    def test_phase_correlation_high(self, rng):
+        meter, summ = self.make(rng)
+        out = msb_validation(meter, summ)
+        assert np.all(out["per_msb"]["phase_corr"] > 0.7)
+
+    def test_amplitude_ratio_near_one(self, rng):
+        meter, summ = self.make(rng)
+        out = msb_validation(meter, summ)
+        assert np.allclose(out["per_msb"]["amplitude_ratio"], 1.0, atol=0.15)
+
+    def test_msb_names_default(self, rng):
+        meter, summ = self.make(rng)
+        out = msb_validation(meter, summ)
+        assert list(out["per_msb"]["msb"]) == ["A", "B", "C"]
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            msb_validation(np.zeros((2, 5)), np.zeros((3, 5)))
+
+    def test_diffs_array_returned(self, rng):
+        meter, summ = self.make(rng)
+        out = msb_validation(meter, summ)
+        assert out["diffs"].shape == meter.shape
+
+
+class TestPue:
+    def test_pue_series(self):
+        pue = pue_series(np.array([1e6, 2e6]), np.array([1e5, 1e5]))
+        assert np.allclose(pue, [1.1, 1.05])
+
+    def test_weekly_summary_rows(self):
+        times = np.arange(0, 21 * 86400.0, 3600.0)
+        vals = np.sin(times / 1e5) + 2.0
+        out = weekly_summary(times, vals)
+        assert out.n_rows == 3
+        assert np.array_equal(out["week"], [0, 1, 2])
+        assert np.all(out["q1"] <= out["median"])
+        assert np.all(out["median"] <= out["q3"])
+
+    def test_weekly_extra_max(self):
+        times = np.arange(0, 14 * 86400.0, 3600.0)
+        vals = np.ones_like(times)
+        power = times.copy()
+        out = weekly_summary(times, vals, extra_max=power)
+        assert out["week_max_extra"][0] < out["week_max_extra"][1]
+        assert out["week_max_extra"][1] == times.max()

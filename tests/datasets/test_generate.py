@@ -1,0 +1,108 @@
+"""Unit tests for twin simulation and direct dataset synthesis."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    SimulationSpec,
+    cluster_power_direct,
+    simulate_twin,
+)
+
+
+class TestSpec:
+    def test_config_scaling(self):
+        spec = SimulationSpec(n_nodes=90)
+        assert spec.config().n_nodes == 90
+
+    def test_defaults(self):
+        spec = SimulationSpec()
+        assert spec.horizon_s == 7 * 86_400.0
+
+
+class TestTwin:
+    def test_components_cached(self, twin):
+        assert twin.builder is twin.builder
+        assert twin.failures is twin.failures
+
+    def test_job_series_columns(self, job_series):
+        assert set(job_series.columns) == {
+            "allocation_id", "timestamp", "count_hostname",
+            "sum_inp", "mean_inp", "max_inp",
+        }
+
+    def test_job_series_covers_started_jobs(self, twin, job_series):
+        series_ids = set(np.unique(job_series["allocation_id"]).tolist())
+        started = twin.schedule.allocations
+        # jobs shorter than one sample grid step may be absent; all others
+        # must appear
+        long_enough = started.filter(
+            (started["end_time"] - started["begin_time"]) >= 20.0
+        )
+        missing = set(long_enough["allocation_id"].tolist()) - series_ids
+        assert not missing
+
+    def test_job_series_component_columns(self, job_series_components):
+        for c in ("mean_cpu_power", "max_gpu_power", "std_gpu_power"):
+            assert c in job_series_components
+
+    def test_component_power_bounds(self, twin, job_series_components):
+        cfg = twin.config
+        j = job_series_components
+        assert j["max_gpu_power"].max() <= cfg.gpus_per_node * cfg.gpu_tdp_w * 1.1
+        assert j["max_cpu_power"].max() <= cfg.cpus_per_node * cfg.cpu_tdp_w * 1.05
+        assert j["mean_gpu_power"].min() >= 0
+
+    def test_series_timestamps_grid_aligned(self, job_series):
+        assert np.allclose(job_series["timestamp"] % 10.0, 0.0)
+
+    def test_sum_mean_consistent(self, job_series):
+        expect = job_series["mean_inp"] * job_series["count_hostname"]
+        assert np.allclose(job_series["sum_inp"], expect, rtol=1e-9)
+
+    def test_cluster_power_envelope(self, twin):
+        times, power = twin.cluster_power(dt=60.0)
+        cfg = twin.config
+        idle = cfg.n_nodes * cfg.node_idle_w
+        assert power.min() >= idle * 0.98
+        assert power.max() <= cfg.n_nodes * cfg.node_max_power_w
+        assert power.mean() > idle * 1.2  # the machine is actually busy
+
+    def test_plant_state_over_horizon(self, twin):
+        st = twin.plant_state(dt=120.0)
+        assert st.pue.min() > 1.0
+        assert len(st.times) == int(twin.spec.horizon_s / 120.0)
+
+
+class TestDirectVsPipeline:
+    def test_cluster_direct_matches_builder(self, twin):
+        """The O(job-samples) superposition must equal the dense builder."""
+        t0, t1, dt = 0.0, 1800.0, 10.0
+        arr = twin.builder.build(t0, t1, dt)
+        times, power = cluster_power_direct(
+            twin.catalog, twin.schedule, twin.chips,
+            horizon_s=t1, dt=dt, seed=twin.spec.seed,
+        )
+        sel = (times >= t0) & (times < t1)
+        assert np.allclose(power[sel], arr.cluster_power_w(), rtol=1e-9)
+
+    def test_job_series_matches_builder_window(self, twin, job_series):
+        """Direct per-job series equals the dense-trace aggregation."""
+        al = twin.schedule.allocations
+        # a job fully inside the first hour
+        inside = (al["begin_time"] >= 0) & (al["end_time"] <= 3600.0) & (
+            al["end_time"] - al["begin_time"] >= 60.0
+        )
+        if not inside.any():
+            pytest.skip("no suitable job in window")
+        aid = int(al["allocation_id"][inside][0])
+        arr = twin.builder.build(0.0, 3600.0, 10.0, track_alloc=True)
+        nodes = twin.schedule.nodes_of(aid)
+        mask = arr.node_alloc[nodes[0]] == aid
+        dense_sum = arr.node_input_w[nodes][:, mask].sum(axis=0)
+        mine = job_series.filter(job_series["allocation_id"] == aid)
+        mine = mine.filter(
+            (mine["timestamp"] >= arr.times[mask].min())
+            & (mine["timestamp"] <= arr.times[mask].max())
+        )
+        assert np.allclose(np.sort(mine["sum_inp"]), np.sort(dense_sum), rtol=1e-9)

@@ -1,0 +1,65 @@
+"""Unit tests for dataset export and inventory."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import export_datasets, dataset_inventory
+from repro.frame.io import read_csv
+from repro.parallel import PartitionedDataset
+
+
+@pytest.fixture(scope="module")
+def exported(twin, tmp_path_factory):
+    root = tmp_path_factory.mktemp("export")
+    inv = export_datasets(twin, root)
+    return root, inv
+
+
+class TestExport:
+    def test_files_exist(self, exported):
+        root, _ = exported
+        for name in ("allocations.csv", "node_allocations.csv", "xid_log.csv"):
+            assert (root / name).exists()
+        assert (root / "job_series" / "manifest.json").exists()
+        assert (root / "cluster_power" / "manifest.json").exists()
+
+    def test_allocations_roundtrip(self, twin, exported):
+        root, _ = exported
+        back = read_csv(root / "allocations.csv")
+        assert back.n_rows == twin.schedule.allocations.n_rows
+        assert np.array_equal(
+            np.sort(back["allocation_id"]),
+            np.sort(twin.schedule.allocations["allocation_id"]),
+        )
+
+    def test_job_series_partitioned_by_day(self, twin, exported):
+        root, _ = exported
+        ds = PartitionedDataset(root / "job_series")
+        assert ds.n_partitions >= 1
+        assert ds.n_rows == twin.job_series().n_rows
+
+    def test_inventory_counts(self, twin, exported):
+        _, inv = exported
+        assert inv["telemetry_rows"] == int(
+            twin.config.n_nodes * twin.spec.horizon_s
+        )
+        assert inv["xid_rows"] == twin.failures.n_failures
+        assert inv["allocations_rows"] == twin.schedule.allocations.n_rows
+        assert inv["telemetry_metric_samples"] > inv["telemetry_rows"] * 100
+
+    def test_inventory_on_disk_sizes(self, exported):
+        _, inv = exported
+        sizes = inv["on_disk_bytes"]
+        assert sizes["node_allocations.csv"] > sizes["allocations.csv"] / 10
+        assert sizes["job_series"] > 0
+
+    def test_inventory_without_root(self, twin):
+        inv = dataset_inventory(twin)
+        assert "on_disk_bytes" not in inv
+
+    def test_table2_ordering(self, twin, exported):
+        """Table 2 shape: telemetry >> per-node alloc history > alloc
+        history > XID log (rows)."""
+        _, inv = exported
+        assert inv["telemetry_rows"] > 100 * inv["node_allocation_rows"]
+        assert inv["node_allocation_rows"] > inv["allocations_rows"]

@@ -1,0 +1,145 @@
+"""Unit tests for group_by against brute-force references."""
+
+import numpy as np
+import pytest
+
+from repro.frame import Table, group_by
+
+
+@pytest.fixture()
+def t():
+    return Table(
+        {
+            "k": np.array([2, 1, 2, 1, 2]),
+            "g": np.array(["a", "a", "b", "a", "b"]),
+            "v": np.array([1.0, 2.0, 3.0, 4.0, 5.0]),
+        }
+    )
+
+
+class TestSingleKey:
+    def test_count(self, t):
+        g = group_by(t, "k", {"n": "count"})
+        assert np.array_equal(g["k"], [1, 2])
+        assert np.array_equal(g["n"], [2, 3])
+
+    def test_sum_mean(self, t):
+        g = group_by(t, "k", {"s": ("v", "sum"), "m": ("v", "mean")})
+        assert np.allclose(g["s"], [6.0, 9.0])
+        assert np.allclose(g["m"], [3.0, 3.0])
+
+    def test_min_max(self, t):
+        g = group_by(t, "k", {"lo": ("v", "min"), "hi": ("v", "max")})
+        assert np.allclose(g["lo"], [2.0, 1.0])
+        assert np.allclose(g["hi"], [4.0, 5.0])
+
+    def test_std_matches_numpy(self, t):
+        g = group_by(t, "k", {"sd": ("v", "std")})
+        expect = [np.std([2.0, 4.0]), np.std([1.0, 3.0, 5.0])]
+        assert np.allclose(g["sd"], expect)
+
+    def test_var(self, t):
+        g = group_by(t, "k", {"var": ("v", "var")})
+        assert np.allclose(g["var"], [np.var([2.0, 4.0]), np.var([1, 3, 5.0])])
+
+    def test_first_last(self, t):
+        g = group_by(t, "k", {"f": ("v", "first"), "l": ("v", "last")})
+        assert np.allclose(g["f"], [2.0, 1.0])
+        assert np.allclose(g["l"], [4.0, 5.0])
+
+    def test_median_even_and_odd(self, t):
+        g = group_by(t, "k", {"md": ("v", "median")})
+        assert np.allclose(g["md"], [3.0, 3.0])
+
+    def test_nunique(self):
+        t = Table({"k": np.array([1, 1, 1, 2]), "v": np.array([5, 5, 6, 7])})
+        g = group_by(t, "k", {"u": ("v", "nunique")})
+        assert np.array_equal(g["u"], [2, 1])
+
+    def test_count_via_tuple(self, t):
+        g = group_by(t, "k", {"n": ("v", "count")})
+        assert np.array_equal(g["n"], [2, 3])
+
+
+class TestMultiKey:
+    def test_groups(self, t):
+        g = group_by(t, ["k", "g"], {"n": "count", "s": ("v", "sum")})
+        got = {
+            (int(k), str(s)): (int(n), float(v))
+            for k, s, n, v in zip(g["k"], g["g"], g["n"], g["s"])
+        }
+        assert got == {
+            (1, "a"): (2, 6.0),
+            (2, "a"): (1, 1.0),
+            (2, "b"): (2, 8.0),
+        }
+
+    def test_key_columns_aligned(self, t):
+        g = group_by(t, ["g", "k"], {"n": "count"})
+        assert set(zip(g["g"].tolist(), g["k"].tolist())) == {
+            ("a", 1), ("a", 2), ("b", 2)
+        }
+
+
+class TestEdgeCases:
+    def test_empty_table(self):
+        t = Table({"k": np.empty(0, np.int64), "v": np.empty(0)})
+        g = group_by(t, "k", {"n": "count", "m": ("v", "mean")})
+        assert g.n_rows == 0
+        assert g["n"].dtype == np.int64
+
+    def test_single_group(self):
+        t = Table({"k": np.zeros(10, np.int64), "v": np.arange(10.0)})
+        g = group_by(t, "k", {"m": ("v", "mean")})
+        assert g.n_rows == 1
+        assert g["m"][0] == 4.5
+
+    def test_all_distinct(self):
+        t = Table({"k": np.arange(5), "v": np.arange(5.0)})
+        g = group_by(t, "k", {"sd": ("v", "std")})
+        assert np.allclose(g["sd"], 0.0)
+
+    def test_unknown_agg(self, t):
+        with pytest.raises(ValueError, match="unknown aggregation"):
+            group_by(t, "k", {"x": ("v", "mode")})
+
+    def test_missing_key(self, t):
+        with pytest.raises(KeyError):
+            group_by(t, "nope", {"n": "count"})
+
+    def test_missing_value_column(self, t):
+        with pytest.raises(KeyError):
+            group_by(t, "k", {"x": ("nope", "sum")})
+
+    def test_no_keys(self, t):
+        with pytest.raises(ValueError):
+            group_by(t, [], {"n": "count"})
+
+    def test_negative_std_guard(self):
+        # values engineered so sumsq/c - mean^2 could go slightly negative
+        t = Table({"k": np.zeros(3, np.int64), "v": np.full(3, 1e8)})
+        g = group_by(t, "k", {"sd": ("v", "std")})
+        assert g["sd"][0] >= 0.0
+
+
+class TestAgainstBruteForce:
+    def test_random_matches_python(self, rng):
+        n = 500
+        t = Table(
+            {
+                "k": rng.integers(0, 17, n),
+                "v": rng.normal(size=n),
+            }
+        )
+        g = group_by(
+            t, "k",
+            {"n": "count", "s": ("v", "sum"), "lo": ("v", "min"),
+             "hi": ("v", "max"), "sd": ("v", "std")},
+        )
+        for i, k in enumerate(g["k"]):
+            vals = t["v"][t["k"] == k]
+            assert g["n"][i] == len(vals)
+            assert np.isclose(g["s"][i], vals.sum())
+            assert np.isclose(g["lo"][i], vals.min())
+            assert np.isclose(g["hi"][i], vals.max())
+            assert np.isclose(g["sd"][i], vals.std(), atol=1e-10)

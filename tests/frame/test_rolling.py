@@ -1,0 +1,117 @@
+"""Unit + property tests for rolling statistics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.frame import (
+    exponential_smooth,
+    rolling_max,
+    rolling_mean,
+    rolling_min,
+    rolling_sum,
+    value_counts,
+)
+
+series = hnp.arrays(
+    np.float64, st.integers(1, 120),
+    elements=st.floats(-1e6, 1e6, allow_nan=False),
+)
+
+
+class TestRollingMean:
+    def test_known_values(self):
+        v = np.array([1.0, 2.0, 3.0, 4.0])
+        out = rolling_mean(v, 2)
+        assert np.allclose(out, [1.0, 1.5, 2.5, 3.5])
+
+    def test_warmup_uses_available(self):
+        v = np.array([4.0, 8.0])
+        assert rolling_mean(v, 10)[1] == 6.0
+
+    def test_window_one_identity(self):
+        v = np.arange(5.0)
+        assert np.array_equal(rolling_mean(v, 1), v)
+
+    def test_empty(self):
+        assert len(rolling_mean(np.empty(0), 3)) == 0
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            rolling_mean(np.arange(3.0), 0)
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError):
+            rolling_mean(np.zeros((2, 2)), 2)
+
+
+class TestRollingExtremes:
+    def test_max_known(self):
+        v = np.array([1.0, 5.0, 2.0, 0.0, 3.0])
+        assert np.array_equal(rolling_max(v, 2), [1, 5, 5, 2, 3])
+
+    def test_min_known(self):
+        v = np.array([3.0, 1.0, 4.0, 1.0, 5.0])
+        assert np.array_equal(rolling_min(v, 3), [3, 1, 1, 1, 1])
+
+    @given(series, st.integers(1, 20))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_bruteforce(self, v, w):
+        mx = rolling_max(v, w)
+        mn = rolling_min(v, w)
+        for i in range(len(v)):
+            lo = max(0, i - w + 1)
+            assert mx[i] == v[lo:i + 1].max()
+            assert mn[i] == v[lo:i + 1].min()
+
+    @given(series, st.integers(1, 20))
+    @settings(max_examples=60, deadline=None)
+    def test_bounds(self, v, w):
+        assert np.all(rolling_min(v, w) <= rolling_mean(v, w) + 1e-6)
+        assert np.all(rolling_mean(v, w) <= rolling_max(v, w) + 1e-6)
+
+
+class TestRollingSum:
+    @given(series, st.integers(1, 20))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_mean(self, v, w):
+        s = rolling_sum(v, w)
+        m = rolling_mean(v, w)
+        widths = np.minimum(np.arange(1, len(v) + 1), w)
+        assert np.allclose(s, m * widths, rtol=1e-9, atol=1e-6)
+
+
+class TestExponentialSmooth:
+    def test_alpha_one_identity(self):
+        v = np.array([1.0, 5.0, 2.0])
+        assert np.allclose(exponential_smooth(v, 1.0), v)
+
+    def test_constant_invariant(self):
+        v = np.full(50, 7.0)
+        assert np.allclose(exponential_smooth(v, 0.3), 7.0)
+
+    def test_tracks_step(self):
+        v = np.concatenate([np.zeros(5), np.ones(100)])
+        y = exponential_smooth(v, 0.2)
+        assert y[-1] == pytest.approx(1.0, abs=1e-6)
+        assert 0 < y[6] < 1
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            exponential_smooth(np.arange(3.0), 0.0)
+
+
+class TestValueCounts:
+    def test_sorted_by_count(self):
+        vals, counts = value_counts(np.array([3, 1, 3, 3, 1, 2]))
+        assert np.array_equal(vals, [3, 1, 2])
+        assert np.array_equal(counts, [3, 2, 1])
+
+    def test_tie_broken_by_value(self):
+        vals, _ = value_counts(np.array([2, 1, 2, 1]))
+        assert np.array_equal(vals, [1, 2])
+
+    def test_strings(self):
+        vals, counts = value_counts(np.array(["b", "a", "b"]))
+        assert vals[0] == "b" and counts[0] == 2

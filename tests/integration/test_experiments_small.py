@@ -1,0 +1,104 @@
+"""Miniature end-to-end versions of the paper's experiments.
+
+Each test runs the same code path as the corresponding benchmark on the
+shared session twin — fast smoke coverage that the full analyses stay
+runnable, with only the scale-free assertions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    failure_composition,
+    cooccurrence_matrix,
+    failures_per_project,
+    slot_counts,
+    thermal_extremity,
+    job_power_summary,
+    job_energy,
+)
+from repro.core.density import kde_2d
+from repro.core.edges import detect_edges, edges_per_job, extract_snapshot, superimpose
+from repro.core.pue import weekly_summary
+from repro.core.spectral import job_spectral_summary
+from repro.core.validation import msb_validation
+from repro.frame.join import join
+
+
+class TestPowerExperiments:
+    def test_fig5_mini(self, twin):
+        times, power = twin.cluster_power(dt=300.0)
+        st = twin.plant.simulate(times, power)
+        wk = weekly_summary(times, st.pue)
+        assert wk.n_rows >= 1
+        assert st.pue.min() > 1.0
+        idle = twin.config.n_nodes * twin.config.node_idle_w
+        assert power.max() > 1.5 * idle
+
+    def test_fig6_mini(self, twin, job_series):
+        summary = job_power_summary(job_series)
+        energy = job_energy(job_series)
+        t = join(summary, energy.select(["allocation_id", "energy"]),
+                 "allocation_id", how="inner")
+        kde = kde_2d(t["energy"], t["max_sum_inp"], n_grid=24,
+                     log_x=True, log_y=True)
+        assert kde["density"].max() > 0
+
+    def test_fig7_mini(self, twin, job_series):
+        summary = job_power_summary(job_series)
+        cat = twin.catalog.table.select(["allocation_id", "sched_class"])
+        meta = join(summary, cat, "allocation_id", how="inner")
+        big = meta.filter(meta["sched_class"] <= 2)
+        small = meta.filter(meta["sched_class"] == 5)
+        if big.n_rows >= 3 and small.n_rows >= 3:
+            assert np.median(big["max_sum_inp"]) > 5 * np.median(small["max_sum_inp"])
+
+    def test_fig10_mini(self, twin, job_series):
+        _, per_job = edges_per_job(job_series)
+        assert (per_job["n_edges"] == 0).mean() > 0.5
+        spec = job_spectral_summary(job_series)
+        assert spec.n_rows == per_job.n_rows
+
+    def test_fig11_mini(self, twin):
+        times, power = twin.cluster_power(dt=10.0)
+        thr = 0.3 * twin.config.edge_threshold_w_per_node * twin.config.n_nodes
+        edges = detect_edges(times, power, thr)
+        if edges.n_rows:
+            snaps = np.array([
+                extract_snapshot(times, power, t, 60.0, 240.0)
+                for t in edges["time"][:10]
+            ])
+            s = superimpose(snaps)
+            assert np.isfinite(s["mean"]).any()
+
+    def test_fig4_mini(self, twin):
+        arr = twin.builder.build(0.0, 600.0, 1.0)
+        meter = twin.msb.measure(arr.node_input_w)
+        summ = twin.msb.node_summation(arr.node_input_w)
+        out = msb_validation(
+            meter.reshape(meter.shape[0], -1, 10).mean(axis=2),
+            summ.reshape(summ.shape[0], -1, 10).mean(axis=2),
+        )
+        assert out["mean_diff_w"] < 0
+
+
+class TestReliabilityExperiments:
+    def test_table4_mini(self, twin, failures):
+        comp = failure_composition(failures)
+        assert comp["count"].sum() == failures.n_failures
+
+    def test_fig13_mini(self, twin, failures):
+        out = cooccurrence_matrix(failures, twin.config.n_nodes)
+        assert out["corr"].shape == (16, 16)
+
+    def test_fig14_mini(self, twin, failures):
+        out = failures_per_project(failures, twin.catalog, twin.schedule, top=5)
+        assert out["table"].n_rows >= 1
+
+    def test_fig15_mini(self, twin, failures):
+        out = thermal_extremity(failures, twin.job_thermal)
+        assert out["table"].n_rows == 16
+
+    def test_fig16_mini(self, failures):
+        out = slot_counts(failures)
+        assert out["matrix"].sum() == failures.n_failures

@@ -1,0 +1,96 @@
+"""Failure-injection tests: data loss flowing through the analysis path.
+
+The paper's dataset had real outages (spring temperature loss, a whole
+cabinet dark during the Figure 17 job).  These tests verify the pipeline
+degrades the way the paper describes — missing data reduces window counts
+and NaN-masks grids, never corrupts results.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import cluster_power_series, coarsen_telemetry
+from repro.core.spatial import cabinet_temperature_grid
+from repro.telemetry import LossEvent, TelemetrySampler
+
+
+@pytest.fixture(scope="module")
+def window(twin):
+    return twin.builder.build(0.0, 600.0, 1.0, per_gpu=True)
+
+
+class TestTemperatureOutage:
+    def test_lost_temps_drop_from_windows(self, twin, window):
+        temps = twin.thermal.gpu_temperature(
+            np.arange(twin.config.n_nodes), window.gpu_power_w, 21.1, 1.0
+        )
+        ev = LossEvent(100.0, 300.0, scope="temperature")
+        tel = TelemetrySampler(twin.config, twin.spec.seed, [ev]).sample(
+            window, gpu_temps=temps
+        )
+        coarse = coarsen_telemetry(tel, ["gpu0_core_temp"], width=10.0)
+        in_outage = coarse.filter(
+            (coarse["timestamp"] >= 110.0) & (coarse["timestamp"] < 290.0)
+        )
+        # the outage region contributes no temperature windows at all
+        assert in_outage.n_rows == 0
+        # power windows are unaffected
+        coarse_p = coarsen_telemetry(tel, ["input_power"], width=10.0)
+        in_outage_p = coarse_p.filter(
+            (coarse_p["timestamp"] >= 110.0) & (coarse_p["timestamp"] < 290.0)
+        )
+        assert in_outage_p.n_rows > 0
+
+    def test_power_outage_shrinks_cluster_count(self, twin, window):
+        lost_nodes = tuple(range(10))
+        ev = LossEvent(0.0, 600.0, nodes=lost_nodes, scope="all")
+        tel = TelemetrySampler(twin.config, twin.spec.seed, [ev]).sample(window)
+        coarse = coarsen_telemetry(tel, ["input_power"], width=10.0)
+        series = cluster_power_series(coarse)
+        # count_inp reflects the nodes that actually reported
+        assert series["count_inp"].max() <= twin.config.n_nodes - len(lost_nodes)
+
+
+class TestSpatialMasking:
+    def test_missing_cabinet_is_green_not_zero(self, twin, window):
+        temps = twin.thermal.gpu_temperature(
+            np.arange(twin.config.n_nodes), window.gpu_power_w, 21.1, 1.0
+        )
+        cab0_nodes = twin.topology.nodes_of_cabinet(0)
+        grids = cabinet_temperature_grid(
+            twin.topology, temps[:, :, 0], missing_nodes=cab0_nodes
+        )
+        r, c = twin.topology.cabinet_row[0], twin.topology.cabinet_col[0]
+        assert grids["missing"][r, c]
+        assert np.isnan(grids["mean"][r, c])
+        # other cabinets are untouched
+        assert np.isfinite(grids["mean"]).sum() == twin.topology.n_cabinets - 1
+
+    def test_partial_cabinet_loss_still_renders(self, twin, window):
+        temps = twin.thermal.gpu_temperature(
+            np.arange(twin.config.n_nodes), window.gpu_power_w, 21.1, 1.0
+        )
+        half = twin.topology.nodes_of_cabinet(0)[:9]
+        grids = cabinet_temperature_grid(
+            twin.topology, temps[:, :, 0], missing_nodes=half
+        )
+        r, c = twin.topology.cabinet_row[0], twin.topology.cabinet_col[0]
+        # half the nodes still report: the cell has a value, not a flag
+        assert np.isfinite(grids["mean"][r, c])
+        assert not grids["missing"][r, c]
+
+
+class TestNanPropagation:
+    def test_coarsen_all_nan_column(self, twin, window):
+        tel = twin.sampler().sample(window)
+        bad = tel.with_column("input_power", np.full(tel.n_rows, np.nan))
+        coarse = coarsen_telemetry(bad, ["input_power"], width=10.0)
+        assert coarse.n_rows == 0
+
+    def test_failure_log_nan_temps_excluded_from_thermal(self, twin, failures):
+        from repro.core.reliability import thermal_extremity
+
+        out = thermal_extremity(failures, twin.job_thermal)
+        n_with_temp = int(out["table"]["n"].sum())
+        n_finite = int(np.isfinite(failures.table["gpu_temp_c"]).sum())
+        assert n_with_temp <= n_finite

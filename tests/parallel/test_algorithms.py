@@ -1,0 +1,137 @@
+"""Unit + property tests for the distributed algorithms."""
+
+import numpy as np
+import pytest
+
+from repro.frame import Table, group_by
+from repro.parallel import (
+    Executor,
+    PartitionedDataset,
+    grouped_aggregate,
+    map_partitions,
+    tree_reduce,
+)
+
+
+def build_dataset(tmp_path, tables):
+    ds = PartitionedDataset.create(tmp_path / "ds", "t")
+    t0 = 0.0
+    for t in tables:
+        ds.append(t, t0, t0 + 10.0)
+        t0 += 10.0
+    return ds
+
+
+@pytest.fixture()
+def dataset(tmp_path, rng):
+    tables = []
+    for _ in range(5):
+        n = int(rng.integers(5, 40))
+        tables.append(
+            Table(
+                {
+                    "k": rng.integers(0, 6, n),
+                    "v": rng.normal(100.0, 10.0, n),
+                }
+            )
+        )
+    return build_dataset(tmp_path, tables)
+
+
+class TestMapPartitions:
+    def test_row_counts(self, dataset):
+        counts = map_partitions(dataset, lambda t: t.n_rows)
+        assert counts == [dataset.read(i).n_rows for i in range(5)]
+
+    def test_serial_and_threads_agree(self, dataset):
+        f = lambda t: float(t["v"].sum())
+        a = map_partitions(dataset, f, Executor(backend="serial"))
+        b = map_partitions(dataset, f, Executor(backend="threads"))
+        assert a == b
+
+
+class TestTreeReduce:
+    def test_sum(self):
+        assert tree_reduce(list(range(10)), lambda a, b: a + b) == 45
+
+    def test_single_item(self):
+        assert tree_reduce([7], lambda a, b: a + b) == 7
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            tree_reduce([], lambda a, b: a + b)
+
+    def test_odd_counts(self):
+        for n in (2, 3, 5, 7, 9):
+            assert tree_reduce(list(range(n)), lambda a, b: a + b) == sum(range(n))
+
+
+class TestGroupedAggregate:
+    def test_matches_single_pass(self, dataset):
+        dist = grouped_aggregate(dataset, ["k"], "v")
+        whole = dataset.to_table()
+        ref = group_by(
+            whole,
+            "k",
+            {
+                "count": "count",
+                "sum": ("v", "sum"),
+                "mean": ("v", "mean"),
+                "min": ("v", "min"),
+                "max": ("v", "max"),
+                "std": ("v", "std"),
+            },
+        )
+        dist = dist.sort("k")
+        ref = ref.sort("k")
+        assert np.array_equal(dist["k"], ref["k"])
+        for col in ("count", "sum", "mean", "min", "max", "std"):
+            assert np.allclose(dist[col], ref[col], rtol=1e-9, atol=1e-9), col
+
+    def test_partitioning_invariance(self, tmp_path, rng):
+        """The result must not depend on how rows are split into shards."""
+        n = 200
+        base = Table({"k": rng.integers(0, 4, n), "v": rng.normal(size=n)})
+        # two different splits
+        ds1 = build_dataset(tmp_path / "a", [base[:50], base[50:]])
+        cuts = [0, 13, 99, 150, n]
+        ds2 = build_dataset(
+            tmp_path / "b",
+            [base[a:b] for a, b in zip(cuts[:-1], cuts[1:])],
+        )
+        g1 = grouped_aggregate(ds1, ["k"], "v").sort("k")
+        g2 = grouped_aggregate(ds2, ["k"], "v").sort("k")
+        for col in ("count", "mean", "std", "min", "max"):
+            assert np.allclose(g1[col], g2[col], rtol=1e-9, atol=1e-9)
+
+    def test_process_backend(self, dataset):
+        out = grouped_aggregate(
+            dataset, ["k"], "v", Executor(backend="processes", max_workers=2)
+        )
+        assert out.n_rows >= 1
+
+
+class TestMapToDataset:
+    def test_derived_dataset(self, dataset, tmp_path):
+        from repro.parallel import map_partitions_to_dataset
+
+        def double(t: Table) -> Table:
+            return t.with_column("v", t["v"] * 2.0)
+
+        out = map_partitions_to_dataset(
+            dataset, double, tmp_path / "derived", "doubled"
+        )
+        assert out.n_partitions == dataset.n_partitions
+        for i in range(out.n_partitions):
+            assert np.allclose(out.read(i)["v"], dataset.read(i)["v"] * 2.0)
+        # time ranges inherited
+        assert out.time_range == dataset.time_range
+
+    def test_reopens_from_disk(self, dataset, tmp_path):
+        from repro.parallel import PartitionedDataset, map_partitions_to_dataset
+
+        map_partitions_to_dataset(
+            dataset, lambda t: t, tmp_path / "copy", "copy"
+        )
+        again = PartitionedDataset(tmp_path / "copy")
+        assert again.n_rows == dataset.n_rows

@@ -1,0 +1,66 @@
+"""Unit tests for the Executor backends."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import Executor
+from repro.parallel.executor import default_workers, _StarCall
+
+
+def square(x):
+    return x * x
+
+
+def boom(x):
+    raise RuntimeError("partition failed")
+
+
+class TestExecutor:
+    @pytest.mark.parametrize("backend", ["serial", "threads", "processes"])
+    def test_map_preserves_order(self, backend):
+        ex = Executor(backend=backend, max_workers=2)
+        assert ex.map(square, range(10)) == [i * i for i in range(10)]
+
+    def test_bad_backend(self):
+        with pytest.raises(ValueError):
+            Executor(backend="gpu")
+
+    def test_default_workers_positive(self):
+        assert default_workers() >= 1
+
+    @pytest.mark.parametrize("backend", ["serial", "threads"])
+    def test_exceptions_propagate(self, backend):
+        ex = Executor(backend=backend)
+        with pytest.raises(RuntimeError, match="partition failed"):
+            ex.map(boom, [1, 2])
+
+    def test_starmap(self):
+        ex = Executor(backend="serial")
+        assert ex.starmap(pow, [(2, 3), (3, 2)]) == [8, 9]
+
+    def test_starmap_threads(self):
+        ex = Executor(backend="threads", max_workers=2)
+        assert ex.starmap(pow, [(2, 3), (3, 2), (2, 5)]) == [8, 9, 32]
+
+    def test_single_item_runs_inline(self):
+        ex = Executor(backend="processes")
+        assert ex.map(square, [4]) == [16]
+
+    def test_empty_items(self):
+        assert Executor().map(square, []) == []
+
+    def test_starcall_picklable(self):
+        import pickle
+
+        sc = _StarCall(pow)
+        sc2 = pickle.loads(pickle.dumps(sc))
+        assert sc2((2, 4)) == 16
+
+    def test_numpy_payloads(self):
+        ex = Executor(backend="threads", max_workers=3)
+        arrays = [np.full(10, i) for i in range(5)]
+        out = ex.map(np.sum, arrays)
+        assert out == [0, 10, 20, 30, 40]
+
+    def test_repr(self):
+        assert "threads" in repr(Executor(backend="threads"))

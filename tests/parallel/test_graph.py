@@ -1,0 +1,92 @@
+"""Unit tests for TaskGraph."""
+
+import pytest
+
+from repro.parallel import TaskGraph, CycleError, Executor
+
+
+class TestTaskGraph:
+    def test_linear_chain(self):
+        g = TaskGraph()
+        g.add("a", lambda: 1)
+        g.add("b", lambda x: x + 1, deps=["a"])
+        g.add("c", lambda x: x * 10, deps=["b"])
+        out = g.run()
+        assert out == {"a": 1, "b": 2, "c": 20}
+
+    def test_diamond(self):
+        g = TaskGraph()
+        g.add("src", lambda: 2)
+        g.add("l", lambda x: x + 1, deps=["src"])
+        g.add("r", lambda x: x * 3, deps=["src"])
+        g.add("sink", lambda a, b: (a, b), deps=["l", "r"])
+        assert g.run()["sink"] == (3, 6)
+
+    def test_extra_args(self):
+        g = TaskGraph()
+        g.add("a", lambda base, k: base + k, deps=[], args=(10, 5))
+        assert g.run()["a"] == 15
+
+    def test_dep_results_positional_order(self):
+        g = TaskGraph()
+        g.add("x", lambda: "x")
+        g.add("y", lambda: "y")
+        g.add("z", lambda a, b: a + b, deps=["x", "y"])
+        assert g.run()["z"] == "xy"
+
+    def test_levels(self):
+        g = TaskGraph()
+        g.add("a", lambda: 1)
+        g.add("b", lambda: 2)
+        g.add("c", lambda x, y: x + y, deps=["a", "b"])
+        levels = g.levels()
+        assert sorted(levels[0]) == ["a", "b"]
+        assert levels[1] == ["c"]
+
+    def test_unknown_dep(self):
+        g = TaskGraph()
+        with pytest.raises(ValueError, match="unknown task"):
+            g.add("a", lambda: 1, deps=["ghost"])
+
+    def test_duplicate_task(self):
+        g = TaskGraph()
+        g.add("a", lambda: 1)
+        with pytest.raises(ValueError, match="duplicate"):
+            g.add("a", lambda: 2)
+
+    def test_cycle_detection(self):
+        g = TaskGraph()
+        g.add("a", lambda: 1)
+        g.add("b", lambda x: x, deps=["a"])
+        # forge a cycle directly (add() forbids forward refs)
+        g._deps["a"] = ["b"]
+        with pytest.raises(CycleError):
+            g.levels()
+
+    def test_targets_subset(self):
+        ran = []
+        g = TaskGraph()
+        g.add("a", lambda: ran.append("a") or 1)
+        g.add("b", lambda: ran.append("b") or 2)
+        g.add("c", lambda x: ran.append("c") or x, deps=["a"])
+        out = g.run(targets=["c"])
+        assert set(out) == {"a", "c"}
+        assert "b" not in ran
+
+    def test_unknown_target(self):
+        g = TaskGraph()
+        g.add("a", lambda: 1)
+        with pytest.raises(KeyError):
+            g.run(targets=["nope"])
+
+    def test_threaded_execution(self):
+        g = TaskGraph()
+        for i in range(8):
+            g.add(f"t{i}", lambda i=i: i * i)
+        g.add("sum", lambda *xs: sum(xs), deps=[f"t{i}" for i in range(8)])
+        out = g.run(Executor(backend="threads", max_workers=4))
+        assert out["sum"] == sum(i * i for i in range(8))
+
+    def test_tasks_property(self):
+        g = TaskGraph().add("a", lambda: 1).add("b", lambda: 2)
+        assert g.tasks == ["a", "b"]

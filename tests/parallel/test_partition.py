@@ -1,0 +1,86 @@
+"""Unit tests for PartitionedDataset."""
+
+import numpy as np
+import pytest
+
+from repro.frame import Table
+from repro.parallel import PartitionedDataset
+
+
+def shard(lo, n=10):
+    return Table(
+        {
+            "timestamp": np.arange(lo, lo + n, dtype=np.float64),
+            "v": np.arange(n, dtype=np.float64),
+        }
+    )
+
+
+@pytest.fixture()
+def ds(tmp_path):
+    d = PartitionedDataset.create(tmp_path / "ds", "test")
+    d.append(shard(0.0), 0.0, 10.0)
+    d.append(shard(10.0), 10.0, 20.0)
+    d.append(shard(20.0), 20.0, 30.0)
+    return d
+
+
+class TestCreation:
+    def test_create_and_reopen(self, tmp_path, ds):
+        again = PartitionedDataset(ds.root)
+        assert again.n_partitions == 3
+        assert again.name == "test"
+        assert again.n_rows == 30
+
+    def test_create_twice_fails(self, tmp_path):
+        PartitionedDataset.create(tmp_path / "x", "a")
+        with pytest.raises(FileExistsError):
+            PartitionedDataset.create(tmp_path / "x", "b")
+
+    def test_open_missing(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            PartitionedDataset(tmp_path / "nope")
+
+    def test_append_overlap_rejected(self, ds):
+        with pytest.raises(ValueError, match="overlaps"):
+            ds.append(shard(25.0), 25.0, 35.0)
+
+    def test_append_zero_extent_rejected(self, ds):
+        with pytest.raises(ValueError, match="positive"):
+            ds.append(shard(30.0), 40.0, 40.0)
+
+    def test_gaps_allowed(self, ds):
+        ds.append(shard(100.0), 100.0, 110.0)
+        assert ds.n_partitions == 4
+
+
+class TestAccess:
+    def test_read_roundtrip(self, ds):
+        assert ds.read(1) == shard(10.0)
+
+    def test_iteration(self, ds):
+        assert sum(t.n_rows for t in ds) == 30
+
+    def test_time_range(self, ds):
+        assert ds.time_range == (0.0, 30.0)
+
+    def test_select_time(self, ds):
+        assert ds.select_time(5.0, 15.0) == [0, 1]
+        assert ds.select_time(10.0, 20.0) == [1]
+        assert ds.select_time(100.0, 200.0) == []
+
+    def test_to_table(self, ds):
+        t = ds.to_table()
+        assert t.n_rows == 30
+        assert t["timestamp"][0] == 0.0
+
+    def test_to_table_empty_raises(self, tmp_path):
+        d = PartitionedDataset.create(tmp_path / "e", "empty")
+        with pytest.raises(ValueError):
+            d.to_table()
+
+    def test_n_bytes(self, ds):
+        assert ds.n_bytes > 0
+
+    def test_shard_path_exists(self, ds):
+        assert ds.shard_path(0).exists()

@@ -1,0 +1,87 @@
+"""Unit + property tests for the lossless telemetry codec."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.telemetry import (
+    compression_ratio,
+    decode_timeseries,
+    encode_timeseries,
+)
+
+
+class TestRoundtrip:
+    def test_simple(self):
+        x = np.array([100.0, 101.0, 101.0, 99.0, 150.0])
+        assert np.array_equal(decode_timeseries(encode_timeseries(x)), x)
+
+    def test_negative_values(self):
+        x = np.array([-1000.0, -999.0, 0.0, 1000.0])
+        assert np.array_equal(decode_timeseries(encode_timeseries(x)), x)
+
+    def test_empty(self):
+        x = np.empty(0)
+        assert np.array_equal(decode_timeseries(encode_timeseries(x)), x)
+
+    def test_single_value(self):
+        x = np.array([42.0])
+        assert np.array_equal(decode_timeseries(encode_timeseries(x)), x)
+
+    def test_fractional_lsb(self):
+        x = np.array([0.5, 1.0, 2.5, -0.5])
+        blob = encode_timeseries(x, lsb=0.5)
+        assert np.array_equal(decode_timeseries(blob), x)
+
+    def test_non_integral_rejected(self):
+        with pytest.raises(ValueError, match="lossy"):
+            encode_timeseries(np.array([1.3]), lsb=1.0)
+
+    def test_bad_magic(self):
+        with pytest.raises(ValueError, match="blob"):
+            decode_timeseries(b"XXXX" + b"\x00" * 32)
+
+    def test_large_deltas(self):
+        x = np.array([0.0, 2**40, -(2.0**40), 17.0])
+        assert np.array_equal(decode_timeseries(encode_timeseries(x)), x)
+
+
+class TestCompression:
+    def test_smooth_series_compress_well(self, rng):
+        """Telemetry-like series (smooth random walk) must beat 5x."""
+        x = np.round(np.cumsum(rng.normal(0, 2, 50_000)) + 1000)
+        assert compression_ratio(x) > 5.0
+
+    def test_constant_series_compress_extremely(self):
+        x = np.full(10_000, 230.0)
+        assert compression_ratio(x) > 100.0
+
+    def test_noise_still_lossless(self, rng):
+        x = np.round(rng.normal(0, 1e6, 5000))
+        blob = encode_timeseries(x)
+        assert np.array_equal(decode_timeseries(blob), x)
+
+    def test_empty_ratio(self):
+        assert compression_ratio(np.empty(0)) == 1.0
+
+
+class TestProperties:
+    @given(
+        hnp.arrays(
+            np.int64,
+            st.integers(0, 500),
+            elements=st.integers(-(2**40), 2**40),
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_roundtrip_any_integers(self, ints):
+        x = ints.astype(np.float64)
+        assert np.array_equal(decode_timeseries(encode_timeseries(x)), x)
+
+    @given(st.integers(1, 200), st.integers(0, 2**32))
+    @settings(max_examples=40, deadline=None)
+    def test_runs_compress(self, n, v):
+        x = np.full(n * 10, float(v))
+        blob = encode_timeseries(x)
+        assert np.array_equal(decode_timeseries(blob), x)

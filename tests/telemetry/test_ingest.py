@@ -1,0 +1,51 @@
+"""Unit tests for the ingest-path model."""
+
+import numpy as np
+import pytest
+
+from repro.config import SUMMIT
+from repro.telemetry import (
+    FAN_IN_RATIO,
+    ingest_budget,
+    sample_propagation_delays,
+)
+
+
+class TestBudget:
+    def test_full_scale_rate_matches_paper(self):
+        b = ingest_budget(SUMMIT)
+        # paper: 460k metrics/s at ~100 metrics/node, 4,626 nodes, 1 Hz
+        assert 4.0e5 < b.metrics_per_second < 5.5e5
+
+    def test_one_megabyte_per_second(self):
+        b = ingest_budget(SUMMIT)
+        # paper: "a manageable 1 MB/s data stream"
+        assert 0.5e6 < b.bytes_per_second < 1.6e6
+
+    def test_fan_in_sizing(self):
+        b = ingest_budget(SUMMIT)
+        assert b.n_service_nodes == -(-4626 // FAN_IN_RATIO)  # 17 at 288:1
+
+    def test_mean_delay_matches_measured(self):
+        b = ingest_budget(SUMMIT)
+        assert b.mean_delay_s == pytest.approx(4.1, abs=0.2)
+        assert b.max_delay_s > b.mean_delay_s
+
+    def test_scales_with_machine(self):
+        small = ingest_budget(SUMMIT.scaled(90))
+        full = ingest_budget(SUMMIT)
+        assert small.metrics_per_second < full.metrics_per_second / 40
+        assert small.n_service_nodes == 1
+
+
+class TestDelaySamples:
+    def test_mean_and_bounds(self, rng):
+        d = sample_propagation_delays(rng, 100_000)
+        assert d.mean() == pytest.approx(4.1, abs=0.1)
+        assert d.min() > 0.8
+        assert d.max() < 7.4
+
+    def test_deterministic_with_seed(self):
+        a = sample_propagation_delays(np.random.default_rng(1), 10)
+        b = sample_propagation_delays(np.random.default_rng(1), 10)
+        assert np.array_equal(a, b)

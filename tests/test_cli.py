@@ -1,0 +1,36 @@
+"""Unit tests for the ``python -m repro`` CLI."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_spec(self, capsys):
+        assert main(["spec"]) == 0
+        out = capsys.readouterr().out
+        assert "4,626" in out
+        assert "27,756" in out
+
+    def test_simulate_small(self, capsys):
+        rc = main([
+            "simulate", "--nodes", "20", "--jobs", "60", "--days", "0.25",
+            "--seed", "3",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "cluster power" in out
+        assert "PUE" in out
+
+    def test_export(self, tmp_path, capsys):
+        rc = main([
+            "export", "--nodes", "20", "--jobs", "60", "--days", "0.25",
+            "--seed", "3", "--output", str(tmp_path / "out"),
+        ])
+        assert rc == 0
+        assert (tmp_path / "out" / "allocations.csv").exists()
+        assert (tmp_path / "out" / "job_series" / "manifest.json").exists()
+
+    def test_missing_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,136 @@
+"""Unit tests for application power profiles."""
+
+import numpy as np
+import pytest
+
+from repro.workload.apps import (
+    AppProfile,
+    PROFILE_KINDS,
+    profile_utilization,
+    sample_profile,
+)
+from repro.workload.domains import domain_by_name
+
+
+def prof(kind, **kw):
+    base = dict(
+        cpu_base=0.3, cpu_amp=0.1, gpu_base=0.5, gpu_amp=0.3,
+        period_s=200.0, duty=0.8, phase_s=0.0,
+    )
+    base.update(kw)
+    return AppProfile(kind, **base)
+
+
+class TestProfileShapes:
+    @pytest.mark.parametrize("kind", PROFILE_KINDS)
+    def test_bounded(self, kind):
+        p = prof(kind)
+        t = np.linspace(0, 3600, 500)
+        cpu, gpu = profile_utilization(p, t, 3600.0)
+        assert np.all((cpu >= 0) & (cpu <= 1))
+        assert np.all((gpu >= 0) & (gpu <= 1))
+
+    def test_steady_is_flat(self):
+        p = prof("steady")
+        _, gpu = profile_utilization(p, np.arange(0, 1000.0), 1000.0)
+        assert np.ptp(gpu) == 0.0
+
+    def test_bsp_has_two_plateaus(self):
+        p = prof("bsp")
+        _, gpu = profile_utilization(p, np.arange(0, 2000.0), 2000.0)
+        assert np.isclose(gpu.max(), 0.8)   # gb + ga
+        assert np.isclose(gpu.min(), 0.2)   # gb - ga
+        # most samples sit on a plateau; ramps cover ~20% of each period
+        on_plateau = (np.isclose(gpu, 0.8) | np.isclose(gpu, 0.2)).mean()
+        assert on_plateau > 0.6
+
+    def test_bsp_period_respected(self):
+        p = prof("bsp", period_s=100.0, phase_s=0.0, duty=0.5)
+        t = np.arange(0, 400.0)
+        _, gpu = profile_utilization(p, t, 400.0)
+        # upward crossings of the midpoint recur exactly every period
+        mid = 0.5 * (gpu.max() + gpu.min())
+        crossings = np.flatnonzero((gpu[:-1] < mid) & (gpu[1:] >= mid)) + 1
+        assert np.allclose(np.diff(crossings), 100.0)
+
+    def test_checkpoint_dips(self):
+        p = prof("checkpoint", period_s=100.0, phase_s=0.0)
+        t = np.arange(0, 1000.0)
+        _, gpu = profile_utilization(p, t, 1000.0)
+        plateau = np.median(gpu)
+        assert gpu.min() < plateau - 0.2
+        # dips are short: under 10% of samples
+        assert (gpu < plateau - 0.2).mean() < 0.12
+
+    def test_phased_three_levels(self):
+        p = prof("phased")
+        t = np.linspace(0, 1000, 1001)
+        _, gpu = profile_utilization(p, t, 1000.0)
+        assert gpu[50] < gpu[500]        # setup below compute
+        assert gpu[950] < gpu[500]       # output below compute
+
+    def test_ramp_rises_and_falls(self):
+        p = prof("ramp")
+        t = np.linspace(0, 1000, 1001)
+        _, gpu = profile_utilization(p, t, 1000.0)
+        assert gpu[0] <= gpu[300]
+        assert gpu[1000] < gpu[500] + 1e-9
+
+    def test_phase_offset_shifts(self):
+        a = prof("bsp", phase_s=0.0)
+        b = prof("bsp", phase_s=50.0)
+        t = np.arange(0, 200.0)
+        _, ga = profile_utilization(a, t, 200.0)
+        _, gb = profile_utilization(b, t, 200.0)
+        assert not np.array_equal(ga, gb)
+        # shifting a's clock by b's phase reproduces b
+        assert np.array_equal(profile_utilization(a, t + 50.0, 200.0)[1], gb)
+
+
+class TestProfileRecord:
+    def test_kind_code_roundtrip(self):
+        p = prof("checkpoint")
+        q = AppProfile.from_code(
+            p.kind_code, p.cpu_base, p.cpu_amp, p.gpu_base, p.gpu_amp,
+            p.period_s, p.duty, p.phase_s,
+        )
+        assert q == p
+
+    def test_all_kinds_have_codes(self):
+        for i, k in enumerate(PROFILE_KINDS):
+            assert prof(k).kind_code == i
+
+
+class TestSampling:
+    def test_sampled_profiles_valid(self, rng):
+        d = domain_by_name("Physics")
+        for cls in (1, 2, 3, 4, 5):
+            for _ in range(20):
+                p = sample_profile(rng, d, cls)
+                assert p.kind in PROFILE_KINDS
+                assert 0 <= p.gpu_base <= 1
+                assert 20.0 <= p.period_s <= 3600.0
+
+    def test_steady_profiles_have_tiny_amplitude(self, rng):
+        d = domain_by_name("Physics")
+        for _ in range(200):
+            p = sample_profile(rng, d, 5)
+            if p.kind == "steady":
+                assert p.gpu_amp <= 0.08
+
+    def test_class4_more_periodic(self, rng):
+        """Class 4 jobs should be bsp-heavy (the paper: most edges)."""
+        d = domain_by_name("MaterialsScience")
+        n = 400
+        bsp4 = sum(sample_profile(rng, d, 4).kind == "bsp" for _ in range(n))
+        bsp5 = sum(sample_profile(rng, d, 5).kind == "bsp" for _ in range(n))
+        assert bsp4 > bsp5
+
+    def test_period_centered_near_200s(self, rng):
+        d = domain_by_name("Physics")
+        periods = [
+            sample_profile(rng, d, 3).period_s
+            for _ in range(300)
+        ]
+        med = np.median(periods)
+        assert 120.0 < med < 350.0

@@ -1,0 +1,117 @@
+"""Unit tests for the job catalog generator."""
+
+import numpy as np
+import pytest
+
+from repro.config import SUMMIT
+from repro.workload import generate_jobs
+from repro.workload.jobs import CLASS_WEIGHTS
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return generate_jobs(
+        SUMMIT.scaled(300), n_jobs=6000, horizon_s=7 * 86400.0, seed=11
+    )
+
+
+class TestCatalogStructure:
+    def test_row_count(self, catalog):
+        assert catalog.n_jobs == 6000
+
+    def test_allocation_ids_dense(self, catalog):
+        ids = catalog.table["allocation_id"]
+        assert np.array_equal(ids, np.arange(1, 6001))
+
+    def test_columns_present(self, catalog):
+        for col in (
+            "submit_time", "node_count", "sched_class", "walltime_s",
+            "req_walltime_s", "domain", "project", "user_id", "gpus_used",
+            "kind_code", "gpu_base", "period_s",
+        ):
+            assert col in catalog.table
+
+    def test_submit_times_sorted_within_horizon(self, catalog):
+        s = catalog.table["submit_time"]
+        assert np.all(np.diff(s) >= 0)
+        assert s.min() >= 0 and s.max() <= 7 * 86400.0
+
+    def test_profile_reconstruction(self, catalog):
+        p = catalog.profile(0)
+        assert 0.0 <= p.gpu_base <= 1.0
+
+    def test_row_of_allocation(self, catalog):
+        assert catalog.row_of_allocation(5) == 4
+        with pytest.raises(KeyError):
+            catalog.row_of_allocation(999_999)
+
+    def test_reproducible(self):
+        cfg = SUMMIT.scaled(100)
+        a = generate_jobs(cfg, n_jobs=200, seed=3)
+        b = generate_jobs(cfg, n_jobs=200, seed=3)
+        assert a.table == b.table
+
+
+class TestDistributions:
+    def test_class_populations(self, catalog):
+        cls = catalog.table["sched_class"]
+        frac = np.bincount(cls, minlength=6)[1:] / len(cls)
+        # dominated by class 5; leadership classes rare
+        assert frac[4] > 0.7
+        assert frac[0] < 0.03
+        for i, w in enumerate(CLASS_WEIGHTS):
+            assert abs(frac[i] - w) < 0.05
+
+    def test_node_counts_in_class_ranges(self, catalog):
+        cfg = catalog.config
+        classes = {c.index: c for c in cfg.scheduling_classes()}
+        for cls, n in zip(catalog.table["sched_class"], catalog.table["node_count"]):
+            c = classes[int(cls)]
+            assert c.min_nodes <= n <= c.max_nodes
+
+    def test_class1_mode_near_4096_analogue(self, catalog):
+        cfg = catalog.config
+        c1 = catalog.table.filter(catalog.table["sched_class"] == 1)
+        counts = c1["node_count"]
+        classes = {c.index: c for c in cfg.scheduling_classes()}
+        hi = classes[1].max_nodes
+        # >60% of class-1 jobs in the upper band (paper: above ~4000/4608)
+        assert (counts > 0.85 * hi).mean() > 0.55
+
+    def test_walltimes_respect_caps(self, catalog):
+        cfg = catalog.config
+        caps = {c.index: c.max_walltime_h * 3600.0 for c in cfg.scheduling_classes()}
+        for cls, w, r in zip(
+            catalog.table["sched_class"],
+            catalog.table["walltime_s"],
+            catalog.table["req_walltime_s"],
+        ):
+            assert w <= caps[int(cls)] + 1e-6
+            assert r <= caps[int(cls)] + 1e-6
+
+    def test_class1_walltime_p80_under_hour(self, catalog):
+        """Figure 7: 80% of class-1 jobs run under ~43 minutes."""
+        c1 = catalog.table.filter(catalog.table["sched_class"] == 1)
+        p80 = np.quantile(c1["walltime_s"], 0.8)
+        assert p80 < 3900.0
+
+    def test_class2_walltime_p80_near_3h(self, catalog):
+        c2 = catalog.table.filter(catalog.table["sched_class"] == 2)
+        p80 = np.quantile(c2["walltime_s"], 0.8)
+        assert 1.5 * 3600 < p80 < 5.0 * 3600
+
+    def test_gpus_used_only_reduced_for_small_jobs(self, catalog):
+        t = catalog.table
+        big = t.filter(t["node_count"] > 2)
+        assert np.all(big["gpus_used"] == catalog.config.gpus_per_node)
+        small = t.filter((t["sched_class"] == 5) & (t["node_count"] <= 2))
+        if small.n_rows > 50:
+            assert (small["gpus_used"] < 6).mean() > 0.3
+
+    def test_utilization_hint_thins_jobs(self):
+        cfg = SUMMIT.scaled(50)
+        full = generate_jobs(cfg, n_jobs=4000, horizon_s=86400.0, seed=2)
+        thin = generate_jobs(
+            cfg, n_jobs=4000, horizon_s=86400.0, seed=2, utilization_hint=0.05
+        )
+        assert thin.n_jobs < full.n_jobs

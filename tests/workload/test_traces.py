@@ -1,0 +1,96 @@
+"""Unit tests for trace synthesis."""
+
+import numpy as np
+import pytest
+
+from repro.workload.traces import ClusterTraceBuilder, job_power_trace
+
+
+@pytest.fixture(scope="module")
+def builder(twin):
+    return twin.builder
+
+
+class TestBuild:
+    def test_shapes(self, twin, builder):
+        arr = builder.build(0.0, 600.0, 10.0)
+        assert arr.times.shape == (60,)
+        assert arr.node_input_w.shape == (twin.config.n_nodes, 60)
+        assert arr.gpu_power_w is None
+
+    def test_per_gpu_detail(self, twin, builder):
+        arr = builder.build(0.0, 300.0, 10.0, per_gpu=True)
+        assert arr.gpu_power_w.shape == (twin.config.n_nodes, 6, 30)
+        # per-GPU sums to the node GPU aggregate
+        assert np.allclose(arr.gpu_power_w.sum(axis=1), arr.node_gpu_w)
+
+    def test_power_bounds(self, twin, builder):
+        arr = builder.build(0.0, 1200.0, 10.0)
+        cfg = twin.config
+        assert np.all(arr.node_input_w <= cfg.node_max_power_w + 1e-9)
+        assert np.all(arr.node_input_w >= cfg.node_idle_w * 0.9)
+
+    def test_idle_nodes_at_idle_power(self, twin, builder):
+        arr = builder.build(0.0, 100.0, 10.0, track_alloc=True)
+        idle_mask = arr.node_alloc == -1
+        if idle_mask.any():
+            idle_p = arr.node_input_w[idle_mask]
+            assert np.allclose(idle_p, twin.config.node_idle_w, rtol=0.02)
+
+    def test_track_alloc_matches_schedule(self, twin, builder):
+        arr = builder.build(0.0, 3600.0, 10.0, track_alloc=True)
+        al = twin.schedule.allocations
+        # pick an allocation fully inside the window
+        inside = (al["begin_time"] >= 0) & (al["end_time"] <= 3600.0)
+        if inside.any():
+            aid = int(al["allocation_id"][inside][0])
+            nodes = twin.schedule.nodes_of(aid)
+            b = float(al["begin_time"][inside][0])
+            e = float(al["end_time"][inside][0])
+            i0 = int(np.searchsorted(arr.times, b))
+            i1 = int(np.searchsorted(arr.times, e))
+            if i1 > i0:
+                assert np.all(arr.node_alloc[nodes, i0:i1] == aid)
+
+    def test_bad_window(self, builder):
+        with pytest.raises(ValueError):
+            builder.build(100.0, 100.0, 10.0)
+
+    def test_memory_guard(self, builder):
+        with pytest.raises(MemoryError):
+            builder.build(0.0, 400 * 86400.0, 1.0)
+
+    def test_cluster_power_sum(self, builder):
+        arr = builder.build(0.0, 100.0, 10.0)
+        assert np.allclose(arr.cluster_power_w(), arr.node_input_w.sum(axis=0))
+
+    def test_to_table_long_format(self, twin, builder):
+        arr = builder.build(0.0, 50.0, 10.0, track_alloc=True)
+        t = arr.to_table()
+        assert t.n_rows == twin.config.n_nodes * 5
+        assert "input_power" in t and "allocation_id" in t
+        back = t["input_power"].reshape(twin.config.n_nodes, 5)
+        assert np.array_equal(back, arr.node_input_w)
+
+
+class TestJobTrace:
+    def test_job_power_trace_columns(self, twin, builder):
+        al = twin.schedule.allocations
+        aid = int(al["allocation_id"][np.argmax(al["node_count"])])
+        t = job_power_trace(builder, aid, dt=10.0)
+        assert set(t.columns) == {
+            "timestamp", "count_hostname", "sum_inp", "mean_inp", "max_inp"
+        }
+        assert np.all(t["sum_inp"] >= t["max_inp"] - 1e-9)
+        assert np.all(t["max_inp"] >= t["mean_inp"] - 1e-9)
+
+    def test_unknown_allocation(self, builder):
+        with pytest.raises(KeyError):
+            job_power_trace(builder, 10_000_000)
+
+    def test_deterministic(self, twin):
+        a = ClusterTraceBuilder(twin.catalog, twin.schedule, twin.chips, seed=7)
+        b = ClusterTraceBuilder(twin.catalog, twin.schedule, twin.chips, seed=7)
+        arr_a = a.build(0.0, 100.0, 10.0)
+        arr_b = b.build(0.0, 100.0, 10.0)
+        assert np.array_equal(arr_a.node_input_w, arr_b.node_input_w)
