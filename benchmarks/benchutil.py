@@ -10,7 +10,12 @@ import numpy as np
 from repro.config import SUMMIT
 
 SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
-OUTPUT_DIR = Path(__file__).parent / "output"
+#: where emit() persists rendered artifacts; ``REPRO_BENCH_OUTPUT``
+#: redirects it so scaled-down runs (golden-regression tests, CI smoke)
+#: never clobber the committed full-scale goldens
+OUTPUT_DIR = Path(
+    os.environ.get("REPRO_BENCH_OUTPUT") or Path(__file__).parent / "output"
+)
 
 #: day-of-year offset for the paper's summer window (July 24)
 SUMMER_START_S = 205 * 86_400.0

@@ -30,10 +30,23 @@ def _add_twin_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--failure-intensity", type=float, default=1.0)
 
 
-def _build_twin(args):
-    from repro.datasets import SimulationSpec, simulate_twin
+def _add_pipeline_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--chunk-seconds", type=float, default=86_400.0,
+                   help="time-window shard width for the chunked pipeline")
+    p.add_argument("--cache-dir", default=None,
+                   help="artifact-cache directory (re-runs skip cached chunks)")
+    p.add_argument("--backend", choices=("serial", "threads", "processes"),
+                   default="threads", help="chunk fan-out backend")
+    p.add_argument("--workers", type=int, default=None,
+                   help="executor pool size (default: cores - 1)")
+    p.add_argument("--no-stats", action="store_true",
+                   help="suppress the pipeline stage-counter report")
 
-    spec = SimulationSpec(
+
+def _build_spec(args):
+    from repro.datasets import SimulationSpec
+
+    return SimulationSpec(
         n_nodes=args.nodes,
         n_jobs=args.jobs,
         horizon_s=args.days * 86_400.0,
@@ -41,14 +54,30 @@ def _build_twin(args):
         start_time=args.start_day * 86_400.0,
         failure_intensity=args.failure_intensity,
     )
-    return simulate_twin(spec)
+
+
+def _build_pipeline(args):
+    from repro.pipeline import Pipeline, PipelineConfig
+
+    return Pipeline(_build_spec(args), PipelineConfig(
+        chunk_seconds=args.chunk_seconds,
+        backend=args.backend,
+        max_workers=args.workers,
+        cache_dir=args.cache_dir,
+    ))
+
+
+def _maybe_print_stats(args, pipe) -> None:
+    if not args.no_stats:
+        print(pipe.stats.report())
 
 
 def cmd_simulate(args) -> int:
     from repro.core.report import fmt_si, render_series, render_table
 
-    twin = _build_twin(args)
-    times, power = twin.cluster_power(dt=60.0)
+    pipe = _build_pipeline(args)
+    times, power = pipe.cluster_power(dt=60.0)
+    twin = pipe.twin
     st = twin.plant.simulate(times + twin.spec.start_time, power)
     cls_counts = np.bincount(twin.catalog.table["sched_class"], minlength=6)[1:]
 
@@ -65,20 +94,20 @@ def cmd_simulate(args) -> int:
     print(f"power: mean {fmt_si(power.mean(), 'W')} | "
           f"peak {fmt_si(power.max(), 'W')} | PUE mean {st.pue.mean():.3f}")
     print(f"GPU XID events: {twin.failures.n_failures}")
+    _maybe_print_stats(args, pipe)
     return 0
 
 
 def cmd_export(args) -> int:
-    from repro.datasets import export_datasets
-
-    twin = _build_twin(args)
-    inv = export_datasets(twin, args.output)
+    pipe = _build_pipeline(args)
+    inv = pipe.export(args.output)
     print(f"exported to {args.output}")
     for k, v in inv.items():
         if k != "on_disk_bytes":
             print(f"  {k}: {v:,}")
     for name, size in inv.get("on_disk_bytes", {}).items():
         print(f"  {name}: {size:,} bytes")
+    _maybe_print_stats(args, pipe)
     return 0
 
 
@@ -107,10 +136,12 @@ def main(argv: list[str] | None = None) -> int:
 
     p_sim = sub.add_parser("simulate", help="run a twin and print a summary")
     _add_twin_args(p_sim)
+    _add_pipeline_args(p_sim)
     p_sim.set_defaults(fn=cmd_simulate)
 
     p_exp = sub.add_parser("export", help="run a twin and export datasets")
     _add_twin_args(p_exp)
+    _add_pipeline_args(p_exp)
     p_exp.add_argument("--output", required=True, help="output directory")
     p_exp.set_defaults(fn=cmd_export)
 

@@ -13,13 +13,20 @@ from repro.frame.groupby import group_by
 from repro.frame.table import Table
 
 
-def cluster_power_series(coarse: Table, value: str = "input_power") -> Table:
+def cluster_power_series(
+    coarse: Table, value: str = "input_power", pipeline=None
+) -> Table:
     """Dataset 1: cluster power per 10 s window.
 
     Expects Dataset 0-style columns ``{value}_mean`` / ``{value}_max`` and
     ``timestamp``; returns ``timestamp, count_inp, sum_inp, mean_inp,
     max_inp`` (the artifact appendix's column names).
+
+    With a :class:`~repro.pipeline.runner.Pipeline` the collapse runs as
+    one chunk task per time window through its executor and stats.
     """
+    if pipeline is not None:
+        return pipeline.cluster_series(coarse, value=value)
     mean_col = f"{value}_mean"
     max_col = f"{value}_max"
     for c in (mean_col, max_col, "timestamp"):

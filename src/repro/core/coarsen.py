@@ -25,6 +25,7 @@ def coarsen_telemetry(
     by: Sequence[str] = ("node",),
     time: str = "timestamp",
     drop_nan: bool = True,
+    pipeline=None,
 ) -> Table:
     """Per-node windowed statistics of raw telemetry.
 
@@ -32,7 +33,15 @@ def coarsen_telemetry(
     windowing (the telemetry path blanks lost sensors to NaN; the real
     pipeline simply never received those payloads).  Window ``count``
     therefore reflects the samples that actually arrived.
+
+    With a :class:`~repro.pipeline.runner.Pipeline` the coarsening runs
+    chunked (one task per aligned time window) through its executor and
+    stats, producing a bit-identical table.
     """
+    if pipeline is not None:
+        return pipeline.coarsen(
+            telemetry, values, width=width, by=by, time=time, drop_nan=drop_nan
+        )
     missing = [c for c in values if c not in telemetry]
     if missing:
         raise KeyError(f"telemetry lacks columns {missing}")

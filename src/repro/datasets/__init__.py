@@ -14,7 +14,12 @@ from repro.datasets.generate import (
     job_power_series_direct,
     cluster_power_direct,
 )
-from repro.datasets.store import export_datasets, dataset_inventory
+from repro.datasets.store import (
+    export_datasets,
+    dataset_inventory,
+    write_log_csvs,
+    write_partitioned_series,
+)
 from repro.datasets.thermal import (
     thermal_cluster_series,
     thermal_job_series,
@@ -29,6 +34,8 @@ __all__ = [
     "cluster_power_direct",
     "export_datasets",
     "dataset_inventory",
+    "write_log_csvs",
+    "write_partitioned_series",
     "thermal_cluster_series",
     "thermal_job_series",
     "temperature_band_counts",

@@ -130,6 +130,16 @@ class TwinData:
         times, power = self.cluster_power(dt)
         return self.plant.simulate(times + self.spec.start_time, power)
 
+    def pipeline(self, config=None):
+        """A chunked :class:`~repro.pipeline.runner.Pipeline` over this twin.
+
+        ``config`` is a :class:`~repro.pipeline.runner.PipelineConfig`;
+        chunked results are bit-identical to the direct methods above.
+        """
+        from repro.pipeline.runner import Pipeline
+
+        return Pipeline(self, config)
+
 
 def simulate_twin(spec: SimulationSpec) -> TwinData:
     """Generate a deployment: jobs -> schedule -> machine population."""
@@ -167,6 +177,106 @@ def _job_grids(
     return np.arange(t0, end, dt)
 
 
+#: Dataset 4 column names, in output order
+_COMPONENT_COLS = (
+    "mean_cpu_power", "std_cpu_power", "max_cpu_power",
+    "mean_gpu_power", "std_gpu_power", "max_gpu_power",
+)
+
+
+def _job_series_block(
+    catalog: JobCatalog,
+    schedule: ScheduleResult,
+    model: NodePowerModel,
+    i: int,
+    dt: float,
+    components: bool,
+    seed: int,
+) -> dict[str, np.ndarray] | None:
+    """One allocation row's sample block (column name -> array), or None.
+
+    This is the per-job kernel shared by the single-pass path and the
+    chunked pipeline, so both produce bit-identical samples.
+    """
+    cfg = catalog.config
+    al = schedule.allocations
+    aid = int(al["allocation_id"][i])
+    begin = float(al["begin_time"][i])
+    end = float(al["end_time"][i])
+    times = _job_grids(begin, end, dt)
+    if len(times) == 0:
+        return None
+    row = catalog.row_of_allocation(aid)
+    profile = catalog.profile(row)
+    nodes = schedule.nodes_of(aid)
+    k_used = int(catalog.table["gpus_used"][row])
+    n_nodes = len(nodes)
+
+    rng = np.random.default_rng(np.random.SeedSequence([seed, 0x7A5E, aid]))
+    noise = 1.0 + rng.normal(0.0, NODE_NOISE_SIGMA, size=(n_nodes, 1))
+
+    chunk = max(1, _DIRECT_CHUNK_CELLS // (n_nodes * cfg.gpus_per_node))
+    sums = np.empty(len(times))
+    means = np.empty(len(times))
+    maxs = np.empty(len(times))
+    cstats = {k: np.empty(len(times)) for k in _COMPONENT_COLS} if components else {}
+    for c0 in range(0, len(times), chunk):
+        c1 = min(c0 + chunk, len(times))
+        t_rel = times[c0:c1] - begin
+        cpu_u, gpu_u = profile_utilization(profile, t_rel, end - begin)
+        cu = np.clip(cpu_u[None, :] * noise, 0.0, 1.0)
+        gu = np.clip(gpu_u[None, :] * noise, 0.0, 1.0)
+        cpu_util = np.broadcast_to(
+            cu[:, None, :], (n_nodes, cfg.cpus_per_node, c1 - c0)
+        )
+        gpu_util = np.zeros((n_nodes, cfg.gpus_per_node, c1 - c0))
+        gpu_util[:, :k_used, :] = gu[:, None, :]
+        c_w, g_w = model.component_power(nodes, cpu_util, gpu_util)
+        cpu_node = c_w.sum(axis=1)
+        gpu_node = g_w.sum(axis=1)
+        inp = np.minimum(
+            (cpu_node + gpu_node + cfg.node_other_w) / cfg.psu_efficiency,
+            cfg.node_max_power_w,
+        )
+        sums[c0:c1] = inp.sum(axis=0)
+        means[c0:c1] = inp.mean(axis=0)
+        maxs[c0:c1] = inp.max(axis=0)
+        if components:
+            cstats["mean_cpu_power"][c0:c1] = cpu_node.mean(axis=0)
+            cstats["std_cpu_power"][c0:c1] = cpu_node.std(axis=0)
+            cstats["max_cpu_power"][c0:c1] = cpu_node.max(axis=0)
+            cstats["mean_gpu_power"][c0:c1] = gpu_node.mean(axis=0)
+            cstats["std_gpu_power"][c0:c1] = gpu_node.std(axis=0)
+            cstats["max_gpu_power"][c0:c1] = gpu_node.max(axis=0)
+
+    block = {
+        "allocation_id": np.full(len(times), aid, np.int64),
+        "timestamp": times,
+        "count_hostname": np.full(len(times), n_nodes, np.int64),
+        "sum_inp": sums,
+        "mean_inp": means,
+        "max_inp": maxs,
+    }
+    for kk in cstats:
+        block[kk] = cstats[kk]
+    return block
+
+
+def _empty_job_series(components: bool) -> Table:
+    cols: dict[str, np.ndarray] = {
+        "allocation_id": np.empty(0, np.int64),
+        "timestamp": np.empty(0, np.float64),
+        "count_hostname": np.empty(0, np.int64),
+        "sum_inp": np.empty(0, np.float64),
+        "mean_inp": np.empty(0, np.float64),
+        "max_inp": np.empty(0, np.float64),
+    }
+    if components:
+        for kk in _COMPONENT_COLS:
+            cols[kk] = np.empty(0, np.float64)
+    return Table(cols)
+
+
 def job_power_series_direct(
     catalog: JobCatalog,
     schedule: ScheduleResult,
@@ -174,125 +284,60 @@ def job_power_series_direct(
     dt: float = 10.0,
     components: bool = False,
     seed: int | None = None,
+    rows: np.ndarray | None = None,
+    allow_empty: bool = False,
 ) -> Table:
     """Dataset 3 (plus Dataset 4 columns when ``components``) per job.
 
     Per-job node noise uses the same seeds as
     :class:`~repro.workload.traces.ClusterTraceBuilder`, so this direct
     route and the dense-pipeline route agree (tested property).
+
+    ``rows`` restricts the computation to a subset of allocation rows (the
+    chunked pipeline passes one time-window's jobs at a time); with
+    ``allow_empty`` a sample-less subset returns an empty, correctly-typed
+    table instead of raising.
     """
     cfg = catalog.config
     model = NodePowerModel(cfg, chips)
     al = schedule.allocations
     seed = seed if seed is not None else 0
+    row_iter = range(al.n_rows) if rows is None else [int(r) for r in rows]
 
-    out_id: list[np.ndarray] = []
-    out_t: list[np.ndarray] = []
-    out_cnt: list[np.ndarray] = []
-    out_sum: list[np.ndarray] = []
-    out_mean: list[np.ndarray] = []
-    out_max: list[np.ndarray] = []
-    comp_cols: dict[str, list[np.ndarray]] = {
-        k: []
-        for k in (
-            "mean_cpu_power", "std_cpu_power", "max_cpu_power",
-            "mean_gpu_power", "std_gpu_power", "max_gpu_power",
-        )
-    } if components else {}
+    blocks = []
+    for i in row_iter:
+        block = _job_series_block(catalog, schedule, model, i, dt, components, seed)
+        if block is not None:
+            blocks.append(block)
 
-    for i in range(al.n_rows):
-        aid = int(al["allocation_id"][i])
-        begin = float(al["begin_time"][i])
-        end = float(al["end_time"][i])
-        times = _job_grids(begin, end, dt)
-        if len(times) == 0:
-            continue
-        row = catalog.row_of_allocation(aid)
-        profile = catalog.profile(row)
-        nodes = schedule.nodes_of(aid)
-        k_used = int(catalog.table["gpus_used"][row])
-        n_nodes = len(nodes)
-
-        rng = np.random.default_rng(np.random.SeedSequence([seed, 0x7A5E, aid]))
-        noise = 1.0 + rng.normal(0.0, NODE_NOISE_SIGMA, size=(n_nodes, 1))
-
-        chunk = max(1, _DIRECT_CHUNK_CELLS // (n_nodes * cfg.gpus_per_node))
-        sums = np.empty(len(times))
-        means = np.empty(len(times))
-        maxs = np.empty(len(times))
-        if components:
-            cstats = {k: np.empty(len(times)) for k in comp_cols}
-        for c0 in range(0, len(times), chunk):
-            c1 = min(c0 + chunk, len(times))
-            t_rel = times[c0:c1] - begin
-            cpu_u, gpu_u = profile_utilization(profile, t_rel, end - begin)
-            cu = np.clip(cpu_u[None, :] * noise, 0.0, 1.0)
-            gu = np.clip(gpu_u[None, :] * noise, 0.0, 1.0)
-            cpu_util = np.broadcast_to(
-                cu[:, None, :], (n_nodes, cfg.cpus_per_node, c1 - c0)
-            )
-            gpu_util = np.zeros((n_nodes, cfg.gpus_per_node, c1 - c0))
-            gpu_util[:, :k_used, :] = gu[:, None, :]
-            c_w, g_w = model.component_power(nodes, cpu_util, gpu_util)
-            cpu_node = c_w.sum(axis=1)
-            gpu_node = g_w.sum(axis=1)
-            inp = np.minimum(
-                (cpu_node + gpu_node + cfg.node_other_w) / cfg.psu_efficiency,
-                cfg.node_max_power_w,
-            )
-            sums[c0:c1] = inp.sum(axis=0)
-            means[c0:c1] = inp.mean(axis=0)
-            maxs[c0:c1] = inp.max(axis=0)
-            if components:
-                cstats["mean_cpu_power"][c0:c1] = cpu_node.mean(axis=0)
-                cstats["std_cpu_power"][c0:c1] = cpu_node.std(axis=0)
-                cstats["max_cpu_power"][c0:c1] = cpu_node.max(axis=0)
-                cstats["mean_gpu_power"][c0:c1] = gpu_node.mean(axis=0)
-                cstats["std_gpu_power"][c0:c1] = gpu_node.std(axis=0)
-                cstats["max_gpu_power"][c0:c1] = gpu_node.max(axis=0)
-
-        out_id.append(np.full(len(times), aid, np.int64))
-        out_t.append(times)
-        out_cnt.append(np.full(len(times), n_nodes, np.int64))
-        out_sum.append(sums)
-        out_mean.append(means)
-        out_max.append(maxs)
-        if components:
-            for kk in comp_cols:
-                comp_cols[kk].append(cstats[kk])
-
-    if not out_id:
+    if not blocks:
+        if allow_empty:
+            return _empty_job_series(components)
         raise ValueError("no job produced any samples (horizon too short?)")
-    cols = {
-        "allocation_id": np.concatenate(out_id),
-        "timestamp": np.concatenate(out_t),
-        "count_hostname": np.concatenate(out_cnt),
-        "sum_inp": np.concatenate(out_sum),
-        "mean_inp": np.concatenate(out_mean),
-        "max_inp": np.concatenate(out_max),
-    }
-    for kk, parts in comp_cols.items():
-        cols[kk] = np.concatenate(parts)
-    return Table(cols)
+    return Table({
+        k: np.concatenate([b[k] for b in blocks]) for k in blocks[0]
+    })
 
 
-def cluster_power_direct(
+def cluster_power_window(
     catalog: JobCatalog,
     schedule: ScheduleResult,
     chips: ChipPopulation,
-    horizon_s: float,
+    w0: int,
+    w1: int,
     dt: float = 10.0,
     seed: int = 0,
-) -> tuple[np.ndarray, np.ndarray]:
-    """Total cluster input power over the horizon without dense node arrays.
+) -> np.ndarray:
+    """Cluster input power over global sample indices ``[w0, w1)``.
 
-    Superposes each job's summed power onto an idle baseline — the same
-    superposition :class:`~repro.workload.traces.ClusterTraceBuilder`
-    performs, O(total job samples) instead of O(nodes x time).
+    Sample ``k`` sits at time ``k * dt``; the function returns exactly the
+    ``power[w0:w1]`` slice :func:`cluster_power_direct` would produce — every
+    per-sample value is computed elementwise, so splitting the horizon into
+    windows (the chunked pipeline) is bit-identical to one pass.
     """
     cfg = catalog.config
     model = NodePowerModel(cfg, chips)
-    times = np.arange(0.0, horizon_s, dt)
+    times = np.arange(w0, w1, dtype=np.float64) * dt
     power = np.full(len(times), cfg.n_nodes * cfg.node_idle_w)
     idle_w = cfg.node_idle_w
 
@@ -332,4 +377,25 @@ def cluster_power_direct(
                 cfg.node_max_power_w,
             )
             power[c0:c1] += inp.sum(axis=0) - n_nodes * idle_w
+    return power
+
+
+def cluster_power_direct(
+    catalog: JobCatalog,
+    schedule: ScheduleResult,
+    chips: ChipPopulation,
+    horizon_s: float,
+    dt: float = 10.0,
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Total cluster input power over the horizon without dense node arrays.
+
+    Superposes each job's summed power onto an idle baseline — the same
+    superposition :class:`~repro.workload.traces.ClusterTraceBuilder`
+    performs, O(total job samples) instead of O(nodes x time).
+    """
+    times = np.arange(0.0, horizon_s, dt)
+    power = cluster_power_window(
+        catalog, schedule, chips, 0, len(times), dt=dt, seed=seed
+    )
     return times, power

@@ -12,7 +12,47 @@ from repro.parallel.partition import PartitionedDataset
 from repro.telemetry.schema import N_METRICS
 
 
-def export_datasets(twin, root: str | Path, day_s: float = 86_400.0) -> dict[str, object]:
+def write_log_csvs(twin, root: str | Path) -> None:
+    """Write the three log-style CSV datasets (C, D, E analogues)."""
+    root = Path(root)
+    root.mkdir(parents=True, exist_ok=True)
+    write_csv(twin.schedule.allocations, root / "allocations.csv")
+    write_csv(twin.schedule.node_allocations, root / "node_allocations.csv")
+    write_csv(twin.failures.table.drop(["project"]).with_column(
+        "project", twin.failures.table["project"].astype("U16")
+    ), root / "xid_log.csv")
+
+
+def write_partitioned_series(
+    table: Table,
+    root: str | Path,
+    name: str,
+    day_s: float = 86_400.0,
+    t_end: float | None = None,
+    time: str = "timestamp",
+) -> PartitionedDataset:
+    """Write ``table`` as a day-partitioned dataset under ``root / name``.
+
+    ``t_end`` bounds the partition sweep; when None it is taken from the
+    last sample (+1 s), since jobs started before the horizon close may run
+    past it.
+    """
+    t = table[time]
+    if t_end is None:
+        t_end = float(t.max()) + 1.0
+    ds = PartitionedDataset.create(Path(root) / name, name)
+    day = 0.0
+    while day < t_end:
+        sel = (t >= day) & (t < day + day_s)
+        if sel.any():
+            ds.append(table.filter(sel), day, day + day_s)
+        day += day_s
+    return ds
+
+
+def export_datasets(
+    twin, root: str | Path, day_s: float = 86_400.0, pipeline=None
+) -> dict[str, object]:
     """Write the twin's core datasets to ``root`` in the artifact layout.
 
     * ``allocations.csv`` — Dataset C analogue,
@@ -21,41 +61,27 @@ def export_datasets(twin, root: str | Path, day_s: float = 86_400.0) -> dict[str
     * ``job_series/`` — Dataset 3 analogue, partitioned by day,
     * ``cluster_power/`` — Dataset 1 analogue, partitioned by day.
 
+    With a :class:`~repro.pipeline.runner.Pipeline` the series derivations
+    route through its chunked, cached stages (bit-identical output).
+
     Returns the inventory dict of :func:`dataset_inventory`.
     """
     root = Path(root)
     root.mkdir(parents=True, exist_ok=True)
+    write_log_csvs(twin, root)
 
-    al = twin.schedule.allocations
-    write_csv(al, root / "allocations.csv")
-    write_csv(twin.schedule.node_allocations, root / "node_allocations.csv")
-    write_csv(twin.failures.table.drop(["project"]).with_column(
-        "project", twin.failures.table["project"].astype("U16")
-    ), root / "xid_log.csv")
+    if pipeline is not None:
+        series = pipeline.job_series()
+        times, power = pipeline.cluster_power()
+    else:
+        series = twin.job_series()
+        times, power = twin.cluster_power()
 
-    series = twin.job_series()
-    ds = PartitionedDataset.create(root / "job_series", "job_series")
-    t = series["timestamp"]
-    # jobs started before the horizon close may run past it
-    t_last = float(t.max()) + 1.0
-    day = 0.0
-    while day < t_last:
-        sel = (t >= day) & (t < day + day_s)
-        if sel.any():
-            ds.append(series.filter(sel), day, day + day_s)
-        day += day_s
-
-    times, power = twin.cluster_power()
-    cl = Table({"timestamp": times, "sum_inp": power})
-    cds = PartitionedDataset.create(root / "cluster_power", "cluster_power")
-    horizon = twin.spec.horizon_s
-    day = 0.0
-    while day < horizon:
-        sel = (times >= day) & (times < day + day_s)
-        if sel.any():
-            cds.append(cl.filter(sel), day, day + day_s)
-        day += day_s
-
+    write_partitioned_series(series, root, "job_series", day_s)
+    write_partitioned_series(
+        Table({"timestamp": times, "sum_inp": power}),
+        root, "cluster_power", day_s, t_end=twin.spec.horizon_s,
+    )
     return dataset_inventory(twin, root)
 
 

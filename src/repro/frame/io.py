@@ -16,11 +16,26 @@ import numpy as np
 from repro.frame.table import Table
 
 
-def save_npz(table: Table, path: str | os.PathLike) -> int:
-    """Write ``table`` to a compressed ``.npz``; returns bytes on disk."""
+def save_npz(table: Table, path: str | os.PathLike, atomic: bool = False) -> int:
+    """Write ``table`` to a compressed ``.npz``; returns bytes on disk.
+
+    With ``atomic`` the table is written to a same-directory temporary file
+    and renamed into place, so concurrent readers (e.g. artifact-cache
+    lookups from parallel pipeline workers) never observe a partial file.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    np.savez_compressed(path, **table.as_dict())
+    if not atomic:
+        np.savez_compressed(path, **table.as_dict())
+        return path.stat().st_size
+    # keep the .npz suffix: numpy appends one to unrecognized extensions
+    tmp = path.with_name(f".{path.stem}.{os.getpid()}.tmp.npz")
+    try:
+        np.savez_compressed(tmp, **table.as_dict())
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():  # pragma: no cover - only on a failed write
+            tmp.unlink()
     return path.stat().st_size
 
 

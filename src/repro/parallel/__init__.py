@@ -16,7 +16,7 @@ This package reproduces exactly that execution model:
   distributed group-by the cluster-level collapses use.
 """
 
-from repro.parallel.executor import Executor
+from repro.parallel.executor import Executor, NotPicklableError
 from repro.parallel.graph import TaskGraph, CycleError
 from repro.parallel.partition import PartitionedDataset, PartitionMeta
 from repro.parallel.algorithms import (
@@ -28,6 +28,7 @@ from repro.parallel.algorithms import (
 
 __all__ = [
     "Executor",
+    "NotPicklableError",
     "TaskGraph",
     "CycleError",
     "PartitionedDataset",

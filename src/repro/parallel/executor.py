@@ -9,6 +9,7 @@ and requires module-level (picklable) functions.
 from __future__ import annotations
 
 import os
+import pickle
 from collections.abc import Callable, Iterable, Sequence
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Any
@@ -16,9 +17,26 @@ from typing import Any
 _BACKENDS = ("serial", "threads", "processes")
 
 
+class NotPicklableError(TypeError):
+    """The process backend was handed a function it cannot ship to workers."""
+
+
 def default_workers() -> int:
-    """Worker count heuristic: physical parallelism minus one, at least 1."""
-    return max(1, (os.cpu_count() or 2) - 1)
+    """Worker count heuristic: physical parallelism minus one, at least 1.
+
+    The ``REPRO_MAX_WORKERS`` environment variable caps the result (useful
+    on shared CI runners and inside nested pipelines).
+    """
+    workers = max(1, (os.cpu_count() or 2) - 1)
+    cap = os.environ.get("REPRO_MAX_WORKERS")
+    if cap:
+        try:
+            workers = max(1, min(workers, int(cap)))
+        except ValueError:
+            raise ValueError(
+                f"REPRO_MAX_WORKERS must be an integer, got {cap!r}"
+            ) from None
+    return workers
 
 
 class Executor:
@@ -54,6 +72,7 @@ class Executor:
         if self.backend == "threads":
             with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
                 return list(pool.map(fn, items))
+        _check_picklable(fn)
         with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
             return list(pool.map(fn, items))
 
@@ -62,6 +81,24 @@ class Executor:
     ) -> list[Any]:
         """Like :meth:`map` but unpacks each tuple into positional args."""
         return self.map(_StarCall(fn), list(arg_tuples))
+
+
+def _check_picklable(fn: Callable[[Any], Any]) -> None:
+    """Fail with a clear message before a process pool chokes on ``fn``.
+
+    ``ProcessPoolExecutor`` surfaces unpicklable callables as an opaque
+    ``PicklingError`` from a worker feed thread (sometimes hanging the
+    pool); checking up front turns that into an actionable error.
+    """
+    try:
+        pickle.dumps(fn)
+    except Exception as exc:
+        raise NotPicklableError(
+            f"backend 'processes' requires a picklable function, but "
+            f"{fn!r} cannot be pickled ({exc}); use a module-level function "
+            f"(or a picklable callable class) instead of a lambda/closure, "
+            f"or switch to backend='threads'"
+        ) from exc
 
 
 class _StarCall:

@@ -1,0 +1,487 @@
+"""Chunked, cached, instrumented execution of the twin + analysis.
+
+The year-scale problem in the paper — 8.5 TB of 1 Hz telemetry — cannot be
+materialized in one in-memory pass.  :class:`Pipeline` therefore runs every
+dataset derivation as a DAG of *time-window shards*: the horizon is split
+into ``chunk_seconds`` windows, each window's work is one task fanned out
+through :class:`~repro.parallel.executor.Executor`, and per-stage counters
+(wall time, rows, bytes, cache hits) land in a
+:class:`~repro.pipeline.stats.PipelineStats` report.
+
+Chunked results are **bit-identical** to the single-pass path (the per-job
+and per-sample kernels are elementwise in time and shared with the direct
+path; asserted by the equivalence test suite).  With a ``cache_dir``, every
+chunk artifact is stored content-addressed
+(:class:`~repro.pipeline.cache.ArtifactCache`), so a re-run with the same
+spec skips the chunk computation entirely.
+"""
+
+from __future__ import annotations
+
+import os
+import time as _time
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.frame.table import Table, concat
+from repro.parallel.executor import Executor
+from repro.parallel.graph import TaskGraph
+from repro.pipeline.cache import ArtifactCache, cache_key
+from repro.pipeline.stats import PipelineStats
+
+__all__ = ["PipelineConfig", "Pipeline", "chunk_windows"]
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Execution knobs for one :class:`Pipeline`.
+
+    ``chunk_seconds`` is the shard width (default one day, matching the
+    paper's one-parquet-file-per-day layout); ``backend`` / ``max_workers``
+    select the :class:`~repro.parallel.executor.Executor`; ``cache_dir``
+    enables the on-disk artifact cache.
+    """
+
+    chunk_seconds: float = 86_400.0
+    backend: str = "threads"
+    max_workers: int | None = None
+    cache_dir: str | os.PathLike | None = None
+
+    def __post_init__(self):
+        if self.chunk_seconds <= 0:
+            raise ValueError(
+                f"chunk_seconds must be positive, got {self.chunk_seconds}"
+            )
+
+
+def chunk_windows(
+    horizon_s: float, chunk_s: float, origin: float = 0.0
+) -> list[tuple[float, float]]:
+    """Split ``[origin, origin + horizon_s)`` into ``chunk_s``-wide windows.
+
+    The last window is clipped to the horizon; a non-positive horizon yields
+    no windows.
+    """
+    if chunk_s <= 0:
+        raise ValueError(f"chunk_s must be positive, got {chunk_s}")
+    out: list[tuple[float, float]] = []
+    t0 = origin
+    end = origin + horizon_s
+    while t0 < end:
+        t1 = min(t0 + chunk_s, end)
+        out.append((t0, t1))
+        t0 = t1
+    return out
+
+
+# ---------------- picklable chunk tasks ----------------
+# (module-level callable classes so the process backend can ship them)
+
+
+class _Timed:
+    """Wrap a task so workers report their own wall time."""
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn: Callable):
+        self.fn = fn
+
+    def __call__(self, item) -> tuple[float, object]:
+        t0 = _time.perf_counter()
+        out = self.fn(item)
+        return _time.perf_counter() - t0, out
+
+
+class _ClusterChunk:
+    """Compute one time-window's cluster power slice as a 1-column table."""
+
+    __slots__ = ("catalog", "schedule", "chips", "dt", "seed")
+
+    def __init__(self, twin, dt: float):
+        self.catalog = twin.catalog
+        self.schedule = twin.schedule
+        self.chips = twin.chips
+        self.dt = dt
+        self.seed = twin.spec.seed
+
+    def __call__(self, span: tuple[int, int]) -> Table:
+        from repro.datasets.generate import cluster_power_window
+
+        w0, w1 = span
+        power = cluster_power_window(
+            self.catalog, self.schedule, self.chips, w0, w1,
+            dt=self.dt, seed=self.seed,
+        )
+        return Table({"power": power})
+
+
+class _JobChunk:
+    """Compute the job-series rows of one window's jobs."""
+
+    __slots__ = ("catalog", "schedule", "chips", "dt", "components", "seed")
+
+    def __init__(self, twin, dt: float, components: bool):
+        self.catalog = twin.catalog
+        self.schedule = twin.schedule
+        self.chips = twin.chips
+        self.dt = dt
+        self.components = components
+        self.seed = twin.spec.seed
+
+    def __call__(self, rows: np.ndarray) -> Table:
+        from repro.datasets.generate import job_power_series_direct
+
+        return job_power_series_direct(
+            self.catalog, self.schedule, self.chips,
+            dt=self.dt, components=self.components, seed=self.seed,
+            rows=rows, allow_empty=True,
+        )
+
+
+class _CoarsenChunk:
+    """10 s-coarsen one telemetry sub-table."""
+
+    __slots__ = ("values", "width", "by", "time", "drop_nan")
+
+    def __init__(self, values, width, by, time, drop_nan):
+        self.values = list(values)
+        self.width = width
+        self.by = list(by)
+        self.time = time
+        self.drop_nan = drop_nan
+
+    def __call__(self, sub: Table) -> Table:
+        from repro.core.coarsen import coarsen_telemetry
+
+        return coarsen_telemetry(
+            sub, self.values, width=self.width, by=self.by,
+            time=self.time, drop_nan=self.drop_nan,
+        )
+
+
+class _AggregateChunk:
+    """Collapse one coarsened sub-table into the cluster power series."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: str):
+        self.value = value
+
+    def __call__(self, sub: Table) -> Table:
+        from repro.core.aggregate import cluster_power_series
+
+        return cluster_power_series(sub, value=self.value)
+
+
+class Pipeline:
+    """Chunked out-of-core execution of twin dataset derivations.
+
+    Construct from a :class:`~repro.datasets.generate.SimulationSpec` (the
+    twin is simulated lazily, and only when a chunk actually needs it) or
+    from an existing :class:`~repro.datasets.generate.TwinData`.
+
+    Every public method is bit-identical to its single-pass counterpart:
+
+    ========================  =======================================
+    :meth:`cluster_power`     ``TwinData.cluster_power``
+    :meth:`job_series`        ``TwinData.job_series``
+    :meth:`coarsen`           :func:`repro.core.coarsen.coarsen_telemetry`
+    :meth:`cluster_series`    :func:`repro.core.aggregate.cluster_power_series`
+    :meth:`export`            :func:`repro.datasets.store.export_datasets`
+    ========================  =======================================
+    """
+
+    def __init__(self, source, config: PipelineConfig | None = None):
+        from repro.datasets.generate import SimulationSpec, TwinData
+
+        self.config = config or PipelineConfig()
+        self.executor = Executor(
+            backend=self.config.backend, max_workers=self.config.max_workers
+        )
+        self.cache = (
+            ArtifactCache(self.config.cache_dir)
+            if self.config.cache_dir is not None
+            else None
+        )
+        self.stats = PipelineStats()
+        if isinstance(source, SimulationSpec):
+            self.spec = source
+            self._twin: TwinData | None = None
+        elif isinstance(source, TwinData):
+            self._twin = source
+            self.spec = source.spec
+        else:
+            raise TypeError(
+                f"Pipeline needs a SimulationSpec or TwinData, got "
+                f"{type(source).__name__}"
+            )
+
+    @property
+    def twin(self):
+        """The simulated deployment (built on first use, stage ``simulate``)."""
+        if self._twin is None:
+            from repro.datasets.generate import simulate_twin
+
+            t0 = _time.perf_counter()
+            self._twin = simulate_twin(self.spec)
+            self.stats.record(
+                "simulate",
+                wall_s=_time.perf_counter() - t0,
+                rows_out=self._twin.schedule.allocations.n_rows,
+            )
+        return self._twin
+
+    # ---------------- generic chunk-stage driver ----------------
+
+    def _run_stage(
+        self,
+        stage: str,
+        items: Sequence,
+        task_factory: Callable[[], Callable],
+        keys: Sequence[str] | None = None,
+        rows_in: int = 0,
+    ) -> list[Table]:
+        """Run one stage: cache lookups, fan out misses, store, account.
+
+        ``items`` are the per-chunk task inputs; ``keys`` (when caching) are
+        the content-addressed keys, parallel to ``items``.  Results come
+        back in item order regardless of hit/miss interleaving.
+        """
+        results: list[Table | None] = [None] * len(items)
+        hits = 0
+        if self.cache is not None and keys is not None:
+            t0 = _time.perf_counter()
+            for idx, key in enumerate(keys):
+                got = self.cache.get(key)
+                if got is not None:
+                    results[idx] = got
+                    hits += 1
+            lookup_s = _time.perf_counter() - t0
+        else:
+            lookup_s = 0.0
+
+        miss_idx = [i for i, r in enumerate(results) if r is None]
+        wall = lookup_s
+        bytes_out = 0
+        if miss_idx:
+            timed = _Timed(task_factory())
+            outs = self.executor.map(timed, [items[i] for i in miss_idx])
+            for i, (elapsed, table) in zip(miss_idx, outs):
+                results[i] = table
+                wall += elapsed
+                if self.cache is not None and keys is not None:
+                    bytes_out += self.cache.put(keys[i], table)
+
+        cached_run = self.cache is not None and keys is not None
+        tables: list[Table] = results  # type: ignore[assignment]
+        self.stats.record(
+            stage,
+            wall_s=wall,
+            calls=len(miss_idx),
+            rows_in=rows_in,
+            rows_out=sum(t.n_rows for t in tables),
+            bytes_out=bytes_out,
+            cache_hits=hits,
+            cache_misses=len(miss_idx) if cached_run else 0,
+        )
+        return tables
+
+    def _spans(self, n_samples: int, dt: float) -> list[tuple[int, int]]:
+        """Per-window global sample-index spans covering ``[0, n_samples)``."""
+        per = max(1, int(round(self.config.chunk_seconds / dt)))
+        return [
+            (i, min(i + per, n_samples)) for i in range(0, n_samples, per)
+        ]
+
+    # ---------------- dataset stages ----------------
+
+    def cluster_power(self, dt: float = 10.0) -> tuple[np.ndarray, np.ndarray]:
+        """Chunked Dataset 1 input: (times, total cluster input power W)."""
+        times = np.arange(0.0, self.spec.horizon_s, dt)
+        spans = self._spans(len(times), dt)
+        keys = None
+        if self.cache is not None:
+            keys = [
+                cache_key(self.spec, stage="cluster_power", dt=dt, span=list(s))
+                for s in spans
+            ]
+        tables = self._run_stage(
+            "cluster_power",
+            spans,
+            lambda: _ClusterChunk(self.twin, dt),
+            keys,
+            rows_in=len(times),
+        )
+        if not tables:
+            return times, np.empty(0)
+        power = np.concatenate([t["power"] for t in tables])
+        return times, power
+
+    def job_series(self, dt: float = 10.0, components: bool = False) -> Table:
+        """Chunked Dataset 3 (+4 with ``components``): one shard per
+        start-time window, reassembled into single-pass row order."""
+        twin = self.twin
+        al = twin.schedule.allocations
+        begin = al["begin_time"]
+        chunk_s = self.config.chunk_seconds
+        n_win = max(1, len(chunk_windows(self.spec.horizon_s, chunk_s)))
+        win = np.clip(
+            np.floor(begin / chunk_s).astype(np.int64), 0, n_win - 1
+        )
+        items: list[np.ndarray] = []
+        keys: list[str] | None = [] if self.cache is not None else None
+        for k in range(n_win):
+            rows = np.flatnonzero(win == k)
+            if len(rows) == 0:
+                continue
+            items.append(rows)
+            if keys is not None:
+                keys.append(cache_key(
+                    self.spec, stage="job_series", dt=dt,
+                    components=components, chunk_s=chunk_s, window=k,
+                ))
+        tables = self._run_stage(
+            "job_series",
+            items,
+            lambda: _JobChunk(twin, dt, components),
+            keys,
+            rows_in=al.n_rows,
+        )
+        tables = [t for t in tables if t.n_rows]
+        if not tables:
+            raise ValueError("no job produced any samples (horizon too short?)")
+        combined = concat(tables)
+        # restore the single-pass row order (allocation-row major): samples
+        # within a job block are already time-ordered inside their shard
+        aids = al["allocation_id"]
+        aid_order = np.argsort(aids, kind="stable")
+        sample_rows = aid_order[
+            np.searchsorted(aids[aid_order], combined["allocation_id"])
+        ]
+        return combined.take(np.argsort(sample_rows, kind="stable"))
+
+    def coarsen(
+        self,
+        telemetry: Table,
+        values: Sequence[str],
+        width: float | None = None,
+        by: Sequence[str] = ("node",),
+        time: str = "timestamp",
+        drop_nan: bool = True,
+        cache_token: str | None = None,
+    ) -> Table:
+        """Chunked 10 s coarsening (Dataset A -> Dataset 0).
+
+        Chunk edges are aligned to multiples of ``width`` so every coarsen
+        window falls wholly inside one chunk; the concatenated result is
+        re-sorted to the single-pass ``group_by`` order.  Caching requires a
+        ``cache_token`` naming the telemetry's provenance (raw table content
+        is never hashed).
+        """
+        from repro.config import SUMMIT
+
+        width = SUMMIT.coarsen_window_s if width is None else width
+        eff_chunk = max(width, np.floor(self.config.chunk_seconds / width) * width)
+        t = telemetry[time]
+        win = np.floor(np.asarray(t, dtype=np.float64) / eff_chunk).astype(np.int64)
+        uniq = np.unique(win)
+        items = [telemetry.filter(win == k) for k in uniq]
+        keys = None
+        if self.cache is not None and cache_token is not None:
+            keys = [
+                cache_key(
+                    cache_token, stage="coarsen", values=list(values),
+                    width=width, by=list(by), time=time, drop_nan=drop_nan,
+                    window=int(k),
+                )
+                for k in uniq
+            ]
+        tables = self._run_stage(
+            "coarsen",
+            items,
+            lambda: _CoarsenChunk(values, width, by, time, drop_nan),
+            keys,
+            rows_in=telemetry.n_rows,
+        )
+        tables = [x for x in tables if x.n_rows]
+        if not tables:
+            return _CoarsenChunk(values, width, by, time, drop_nan)(telemetry)
+        return concat(tables).sort(list(by) + ["timestamp"])
+
+    def cluster_series(
+        self,
+        coarse: Table,
+        value: str = "input_power",
+        cache_token: str | None = None,
+    ) -> Table:
+        """Chunked Dataset 1 collapse of a coarsened table."""
+        t = coarse["timestamp"]
+        win = np.floor(
+            np.asarray(t, dtype=np.float64) / self.config.chunk_seconds
+        ).astype(np.int64)
+        uniq = np.unique(win)
+        items = [coarse.filter(win == k) for k in uniq]
+        keys = None
+        if self.cache is not None and cache_token is not None:
+            keys = [
+                cache_key(cache_token, stage="aggregate", value=value,
+                          window=int(k))
+                for k in uniq
+            ]
+        tables = self._run_stage(
+            "aggregate",
+            items,
+            lambda: _AggregateChunk(value),
+            keys,
+            rows_in=coarse.n_rows,
+        )
+        tables = [x for x in tables if x.n_rows]
+        if not tables:
+            return _AggregateChunk(value)(coarse)
+        return concat(tables).sort("timestamp")
+
+    # ---------------- end-to-end export DAG ----------------
+
+    def export(self, root, day_s: float = 86_400.0) -> dict[str, object]:
+        """Run the export DAG: logs + chunked job series + cluster power.
+
+        Equivalent to :func:`repro.datasets.store.export_datasets` (same
+        files, same bytes) but the two series derivations run as chunked,
+        cached stages and the three write tasks hang off them as a
+        :class:`~repro.parallel.graph.TaskGraph`.
+        """
+        from repro.datasets.store import (
+            dataset_inventory,
+            write_log_csvs,
+            write_partitioned_series,
+        )
+
+        twin = self.twin
+
+        graph = TaskGraph()
+        graph.add("logs", lambda: write_log_csvs(twin, root))
+        graph.add("job_series", lambda: self.job_series())
+        graph.add("cluster_power", lambda: self.cluster_power())
+        graph.add(
+            "write_job_series",
+            lambda series: write_partitioned_series(
+                series, root, "job_series", day_s,
+                t_end=None,
+            ),
+            deps=["job_series"],
+        )
+        graph.add(
+            "write_cluster_power",
+            lambda tp: write_partitioned_series(
+                Table({"timestamp": tp[0], "sum_inp": tp[1]}),
+                root, "cluster_power", day_s,
+                t_end=self.spec.horizon_s,
+            ),
+            deps=["cluster_power"],
+        )
+        t0 = _time.perf_counter()
+        graph.run(Executor(backend="serial"))
+        self.stats.record("write", wall_s=_time.perf_counter() - t0, calls=3)
+        return dataset_inventory(twin, root)

@@ -1,0 +1,76 @@
+"""Golden-regression harness: every benchmark artifact, one small run.
+
+The whole ``benchmarks/`` suite executes **once per test session** in a
+subprocess at ``REPRO_BENCH_SCALE=0.02`` with ``REPRO_BENCH_OUTPUT``
+redirected to a temp directory (the committed goldens are never written).
+Each ``bench_*`` module then gets one parametrized test asserting its
+regenerated artifact still matches ``benchmarks/output/<stem>.txt``:
+identical title, and the scale-robust key scalars (PUE anchors,
+machine-sized row counts, config tables, validation biases) within the
+tolerances defined in ``tools/check_golden.py`` — the same comparator the
+manual regeneration tool uses.
+
+Statistical anchors that need full scale are soft inside the bench suite
+(``benchutil.anchor``); the two modules that hard-assert at full scale
+still emit their artifact before failing, so the subprocess exit code is
+not part of the contract.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+GOLDEN_DIR = REPO_ROOT / "benchmarks" / "output"
+SCALE = 0.02
+
+_spec = importlib.util.spec_from_file_location(
+    "check_golden", REPO_ROOT / "tools" / "check_golden.py"
+)
+check_golden = importlib.util.module_from_spec(_spec)
+# dataclass processing resolves annotations via sys.modules[__module__]
+sys.modules["check_golden"] = check_golden
+_spec.loader.exec_module(check_golden)
+
+STEMS = sorted(p.stem for p in GOLDEN_DIR.glob("*.txt"))
+
+
+@pytest.fixture(scope="session")
+def fresh_dir(tmp_path_factory):
+    """Artifacts from one scaled-down run of the full benchmark suite."""
+    out = tmp_path_factory.mktemp("golden")
+    check_golden.regenerate(out, SCALE)
+    return out
+
+
+def test_goldens_exist():
+    assert len(STEMS) >= 20, "committed goldens are missing"
+
+
+def test_every_bench_module_has_a_golden():
+    bench_dir = REPO_ROOT / "benchmarks"
+    missing = []
+    for mod in sorted(bench_dir.glob("bench_*.py")):
+        stem = mod.stem.removeprefix("bench_")
+        if stem not in STEMS:
+            missing.append(mod.name)
+    assert missing == [], f"bench modules without a committed golden: {missing}"
+
+
+@pytest.mark.parametrize("stem", STEMS)
+def test_artifact_matches_golden(fresh_dir, stem):
+    fresh_path = fresh_dir / f"{stem}.txt"
+    assert fresh_path.exists(), (
+        f"benchmark did not emit {stem}.txt (did its module abort before "
+        f"emit()?)"
+    )
+    fresh = fresh_path.read_text()
+    assert fresh.strip(), f"{stem}.txt came out empty"
+    golden = (GOLDEN_DIR / f"{stem}.txt").read_text()
+    problems = check_golden.compare_text(stem, fresh, golden)
+    assert problems == [], (
+        f"{stem} drifted from the committed golden:\n  "
+        + "\n  ".join(problems)
+    )

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.parallel import Executor
+from repro.parallel import Executor, NotPicklableError
 from repro.parallel.executor import default_workers, _StarCall
 
 
@@ -64,3 +64,60 @@ class TestExecutor:
 
     def test_repr(self):
         assert "threads" in repr(Executor(backend="threads"))
+
+
+class TestDefaultWorkersEnv:
+    def test_env_caps_workers(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MAX_WORKERS", "1")
+        assert default_workers() == 1
+
+    def test_env_never_drops_below_one(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MAX_WORKERS", "0")
+        assert default_workers() == 1
+        monkeypatch.setenv("REPRO_MAX_WORKERS", "-3")
+        assert default_workers() == 1
+
+    def test_env_cannot_raise_above_heuristic(self, monkeypatch):
+        monkeypatch.delenv("REPRO_MAX_WORKERS", raising=False)
+        base = default_workers()
+        monkeypatch.setenv("REPRO_MAX_WORKERS", str(base + 100))
+        assert default_workers() == base
+
+    def test_env_non_integer_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MAX_WORKERS", "many")
+        with pytest.raises(ValueError, match="REPRO_MAX_WORKERS"):
+            default_workers()
+
+    def test_executor_picks_up_cap(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MAX_WORKERS", "1")
+        assert Executor(backend="threads").max_workers == 1
+
+
+class TestProcessBackendErrors:
+    def test_lambda_raises_clear_error(self):
+        ex = Executor(backend="processes", max_workers=2)
+        with pytest.raises(NotPicklableError, match="picklable"):
+            ex.map(lambda x: x + 1, [1, 2, 3])
+
+    def test_not_picklable_is_a_type_error(self):
+        assert issubclass(NotPicklableError, TypeError)
+
+    def test_closure_raises_clear_error(self):
+        bound = 10
+
+        def closure(x):
+            return x + bound
+
+        ex = Executor(backend="processes", max_workers=2)
+        with pytest.raises(NotPicklableError):
+            ex.map(closure, [1, 2])
+
+    def test_single_item_lambda_is_fine(self):
+        # <= 1 item falls back to inline execution, so no pickling needed
+        ex = Executor(backend="processes")
+        assert ex.map(lambda x: x + 1, [41]) == [42]
+
+    def test_exceptions_propagate_from_workers(self):
+        ex = Executor(backend="processes", max_workers=2)
+        with pytest.raises(RuntimeError, match="partition failed"):
+            ex.map(boom, [1, 2])

@@ -1,0 +1,23 @@
+"""Shared small twin for pipeline tests (session-scoped: simulation is the
+expensive part, every test only re-derives datasets from it)."""
+
+import pytest
+
+from repro.datasets import SimulationSpec, simulate_twin
+
+SPEC = SimulationSpec(n_nodes=12, n_jobs=60, horizon_s=1.5 * 86_400.0, seed=7)
+
+
+@pytest.fixture(scope="session")
+def twin_small():
+    return simulate_twin(SPEC)
+
+
+@pytest.fixture(scope="session")
+def single_pass_series(twin_small):
+    return twin_small.job_series()
+
+
+@pytest.fixture(scope="session")
+def single_pass_power(twin_small):
+    return twin_small.cluster_power()

@@ -1,0 +1,107 @@
+"""Unit tests for the content-addressed artifact cache."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import SimulationSpec
+from repro.frame.table import Table
+from repro.pipeline import ArtifactCache, cache_key
+
+
+def _table():
+    return Table({
+        "t": np.arange(5, dtype=np.float64),
+        "v": np.array([1.5, -2.0, 0.0, 3.25, 7.125]),
+        "n": np.arange(5, dtype=np.int64),
+    })
+
+
+class TestCacheKey:
+    def test_deterministic(self):
+        spec = SimulationSpec(n_nodes=8, seed=3)
+        assert cache_key(spec, stage="x", dt=10.0) == cache_key(
+            SimulationSpec(n_nodes=8, seed=3), stage="x", dt=10.0
+        )
+
+    def test_sensitive_to_every_part(self):
+        spec = SimulationSpec(n_nodes=8, seed=3)
+        base = cache_key(spec, stage="x", dt=10.0)
+        assert cache_key(SimulationSpec(n_nodes=9, seed=3), stage="x", dt=10.0) != base
+        assert cache_key(spec, stage="y", dt=10.0) != base
+        assert cache_key(spec, stage="x", dt=60.0) != base
+
+    def test_float_int_distinct(self):
+        # 10 and 10.0 address different artifacts: stage params are typed
+        assert cache_key(dt=10) != cache_key(dt=10.0)
+
+    def test_is_hex_sha256(self):
+        k = cache_key("anything")
+        assert len(k) == 64
+        assert set(k) <= set("0123456789abcdef")
+
+    def test_rejects_unhashable_payload(self):
+        with pytest.raises(TypeError):
+            cache_key(object())
+
+
+class TestArtifactCache:
+    def test_roundtrip_bit_identical(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        t = _table()
+        key = cache_key("roundtrip")
+        assert cache.get(key) is None
+        n = cache.put(key, t)
+        assert n > 0
+        got = cache.get(key)
+        assert got is not None
+        assert got.columns == t.columns
+        for c in t.columns:
+            assert got[c].dtype == t[c].dtype
+            assert np.array_equal(got[c], t[c])
+
+    def test_contains_and_layout(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        key = cache_key("layout")
+        assert key not in cache
+        cache.put(key, _table())
+        assert key in cache
+        assert cache.path(key).parent.name == key[:2]
+
+    def test_empty_table_roundtrip(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        empty = Table({"a": np.empty(0, np.int64), "b": np.empty(0, np.float64)})
+        key = cache_key("empty")
+        cache.put(key, empty)
+        got = cache.get(key)
+        assert got.n_rows == 0
+        assert got["a"].dtype == np.int64
+
+    def test_malformed_key_rejected(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        with pytest.raises(ValueError):
+            cache.path("../escape")
+        with pytest.raises(ValueError):
+            cache.path("short")
+
+    def test_torn_entry_reads_as_miss(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        key = cache_key("torn")
+        p = cache.path(key)
+        p.parent.mkdir(parents=True, exist_ok=True)
+        p.write_bytes(b"not an npz")
+        assert cache.get(key) is None
+
+    def test_clear_and_counters(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        for i in range(3):
+            cache.put(cache_key("entry", i=i), _table())
+        assert cache.n_entries == 3
+        assert cache.n_bytes > 0
+        assert cache.clear() == 3
+        assert cache.n_entries == 0
+
+    def test_no_temp_files_left(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.put(cache_key("tmpcheck"), _table())
+        leftovers = [p for p in tmp_path.rglob("*") if "tmp" in p.name]
+        assert leftovers == []

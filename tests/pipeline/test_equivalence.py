@@ -1,0 +1,185 @@
+"""Chunked pipeline output must be bit-identical to the single-pass path.
+
+Every assertion here is ``np.array_equal`` (or byte equality for exported
+files) — not ``allclose``.  The tentpole's contract is exact equality across
+chunk sizes, executor backends, and cache cold/warm runs.
+"""
+
+import hashlib
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.aggregate import cluster_power_series
+from repro.core.coarsen import coarsen_telemetry
+from repro.pipeline import Pipeline, PipelineConfig
+
+DAY = 86_400.0
+
+
+def assert_tables_equal(got, want):
+    assert got.columns == want.columns
+    assert got.n_rows == want.n_rows
+    for c in want.columns:
+        assert got[c].dtype == want[c].dtype, c
+        assert np.array_equal(got[c], want[c]), c
+
+
+def _tree_digest(root: Path) -> dict[str, str]:
+    return {
+        str(p.relative_to(root)): hashlib.sha256(p.read_bytes()).hexdigest()
+        for p in sorted(root.rglob("*"))
+        if p.is_file()
+    }
+
+
+@pytest.fixture(scope="module")
+def telemetry(twin_small):
+    """One hour of sampled 1 Hz telemetry (coarsen/aggregate input)."""
+    arr = twin_small.builder.build(0.0, 3600.0, 1.0)
+    return twin_small.sampler().sample(arr)
+
+
+@pytest.fixture(scope="module")
+def coarse(telemetry):
+    return coarsen_telemetry(telemetry, ["input_power"], width=10.0)
+
+
+class TestClusterPowerEquivalence:
+    @pytest.mark.parametrize(
+        "chunk_s", [0.1 * DAY, 0.5 * DAY, DAY, 2 * DAY, 10 * DAY]
+    )
+    def test_chunk_sizes(self, twin_small, single_pass_power, chunk_s):
+        pipe = Pipeline(twin_small, PipelineConfig(chunk_seconds=chunk_s,
+                                                   backend="serial"))
+        times, power = pipe.cluster_power()
+        ref_t, ref_p = single_pass_power
+        assert np.array_equal(times, ref_t)
+        assert np.array_equal(power, ref_p)
+
+    @pytest.mark.parametrize("backend", ["serial", "threads", "processes"])
+    def test_backends(self, twin_small, single_pass_power, backend):
+        pipe = Pipeline(twin_small, PipelineConfig(
+            chunk_seconds=0.25 * DAY, backend=backend, max_workers=2,
+        ))
+        times, power = pipe.cluster_power()
+        assert np.array_equal(times, single_pass_power[0])
+        assert np.array_equal(power, single_pass_power[1])
+
+    def test_seeded_random_chunk_sizes(self, twin_small, single_pass_power):
+        # property-style sweep: arbitrary chunk widths never change a bit
+        rng = np.random.default_rng(2024)
+        for chunk_s in rng.uniform(600.0, 2.5 * DAY, size=6):
+            pipe = Pipeline(twin_small, PipelineConfig(
+                chunk_seconds=float(chunk_s), backend="serial",
+            ))
+            _, power = pipe.cluster_power()
+            assert np.array_equal(power, single_pass_power[1]), chunk_s
+
+
+class TestJobSeriesEquivalence:
+    @pytest.mark.parametrize("chunk_s", [0.1 * DAY, 0.5 * DAY, DAY, 3 * DAY])
+    def test_chunk_sizes(self, twin_small, single_pass_series, chunk_s):
+        pipe = Pipeline(twin_small, PipelineConfig(chunk_seconds=chunk_s,
+                                                   backend="serial"))
+        assert_tables_equal(pipe.job_series(), single_pass_series)
+
+    @pytest.mark.parametrize("backend", ["threads", "processes"])
+    def test_backends(self, twin_small, single_pass_series, backend):
+        pipe = Pipeline(twin_small, PipelineConfig(
+            chunk_seconds=0.5 * DAY, backend=backend, max_workers=2,
+        ))
+        assert_tables_equal(pipe.job_series(), single_pass_series)
+
+    def test_components(self, twin_small):
+        ref = twin_small.job_series(components=True)
+        pipe = Pipeline(twin_small, PipelineConfig(chunk_seconds=0.4 * DAY,
+                                                   backend="serial"))
+        assert_tables_equal(pipe.job_series(components=True), ref)
+
+
+class TestCoarsenAggregateEquivalence:
+    @pytest.mark.parametrize("chunk_s", [300.0, 1000.0, 3600.0, DAY])
+    def test_coarsen_chunk_sizes(self, twin_small, telemetry, chunk_s):
+        ref = coarsen_telemetry(telemetry, ["input_power"], width=10.0)
+        pipe = Pipeline(twin_small, PipelineConfig(chunk_seconds=chunk_s,
+                                                   backend="serial"))
+        got = pipe.coarsen(telemetry, ["input_power"], width=10.0)
+        assert_tables_equal(got, ref)
+
+    def test_coarsen_via_keyword(self, twin_small, telemetry):
+        # public entry point routes through the pipeline when one is given
+        ref = coarsen_telemetry(telemetry, ["input_power"], width=10.0)
+        pipe = Pipeline(twin_small, PipelineConfig(chunk_seconds=900.0,
+                                                   backend="threads",
+                                                   max_workers=2))
+        got = coarsen_telemetry(telemetry, ["input_power"], width=10.0,
+                                pipeline=pipe)
+        assert_tables_equal(got, ref)
+        assert pipe.stats.stage("coarsen").calls > 1
+
+    @pytest.mark.parametrize("chunk_s", [600.0, 1800.0, DAY])
+    def test_cluster_series_chunk_sizes(self, twin_small, coarse, chunk_s):
+        ref = cluster_power_series(coarse)
+        pipe = Pipeline(twin_small, PipelineConfig(chunk_seconds=chunk_s,
+                                                   backend="serial"))
+        assert_tables_equal(pipe.cluster_series(coarse), ref)
+
+    def test_cluster_series_via_keyword(self, twin_small, coarse):
+        ref = cluster_power_series(coarse)
+        pipe = Pipeline(twin_small, PipelineConfig(chunk_seconds=900.0,
+                                                   backend="serial"))
+        got = cluster_power_series(coarse, pipeline=pipe)
+        assert_tables_equal(got, ref)
+
+
+class TestCacheEquivalence:
+    def test_cold_then_warm_identical(self, twin_small, single_pass_series,
+                                      single_pass_power, tmp_path):
+        cfg = PipelineConfig(chunk_seconds=0.5 * DAY, backend="serial",
+                             cache_dir=tmp_path / "cache")
+        cold = Pipeline(twin_small, cfg)
+        assert_tables_equal(cold.job_series(), single_pass_series)
+        _, cold_p = cold.cluster_power()
+        assert np.array_equal(cold_p, single_pass_power[1])
+        assert cold.stats.total_cache_hits == 0
+        assert cold.stats.total_cache_misses > 0
+
+        warm = Pipeline(twin_small, cfg)
+        assert_tables_equal(warm.job_series(), single_pass_series)
+        _, warm_p = warm.cluster_power()
+        assert np.array_equal(warm_p, single_pass_power[1])
+        assert warm.stats.total_cache_misses == 0
+        assert warm.stats.total_cache_hits == cold.stats.total_cache_misses
+
+    def test_warm_across_chunk_size_change_is_a_miss(self, twin_small,
+                                                     single_pass_power,
+                                                     tmp_path):
+        # the chunk layout is part of the address: changing it re-computes
+        # (correctly) rather than stitching stale shards
+        a = Pipeline(twin_small, PipelineConfig(
+            chunk_seconds=0.5 * DAY, backend="serial",
+            cache_dir=tmp_path / "cache"))
+        a.cluster_power()
+        b = Pipeline(twin_small, PipelineConfig(
+            chunk_seconds=0.3 * DAY, backend="serial",
+            cache_dir=tmp_path / "cache"))
+        _, p = b.cluster_power()
+        assert np.array_equal(p, single_pass_power[1])
+        assert b.stats.total_cache_misses > 0
+
+
+class TestExportEquivalence:
+    def test_export_matches_classic_path(self, twin_small, tmp_path):
+        from repro.datasets.store import export_datasets
+
+        ref_root = tmp_path / "ref"
+        export_datasets(twin_small, ref_root)
+        pipe = Pipeline(twin_small, PipelineConfig(chunk_seconds=0.5 * DAY,
+                                                   backend="serial"))
+        got_root = tmp_path / "got"
+        pipe.export(got_root)
+        ref = _tree_digest(ref_root)
+        got = _tree_digest(got_root)
+        assert got == ref

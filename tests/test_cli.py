@@ -34,3 +34,49 @@ class TestCli:
     def test_missing_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestCliPipelineFlags:
+    ARGS = ["--nodes", "16", "--jobs", "50", "--days", "0.25", "--seed", "3"]
+
+    def test_simulate_prints_stage_report(self, capsys):
+        rc = main(["simulate", *self.ARGS, "--chunk-seconds", "7200",
+                   "--backend", "serial"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "cluster_power" in out
+        assert "cache: disabled" in out
+
+    def test_no_stats_suppresses_report(self, capsys):
+        rc = main(["simulate", *self.ARGS, "--backend", "serial",
+                   "--no-stats"])
+        assert rc == 0
+        assert "cache:" not in capsys.readouterr().out
+
+    def test_bad_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", *self.ARGS, "--backend", "dask"])
+
+    def test_export_warm_cache_reruns_from_cache(self, tmp_path, capsys):
+        base = ["export", *self.ARGS,
+                "--chunk-seconds", "10800", "--backend", "serial",
+                "--cache-dir", str(tmp_path / "cache")]
+        assert main([*base, "--output", str(tmp_path / "a")]) == 0
+        cold = capsys.readouterr().out
+        assert "chunk tasks served from cache" in cold
+
+        assert main([*base, "--output", str(tmp_path / "b")]) == 0
+        warm = capsys.readouterr().out
+        assert "(100%)" in warm
+        # both exports produced identical manifests
+        a = (tmp_path / "a" / "job_series" / "manifest.json").read_bytes()
+        b = (tmp_path / "b" / "job_series" / "manifest.json").read_bytes()
+        assert a == b
+
+    def test_chunked_simulate_matches_default(self, capsys):
+        assert main(["simulate", *self.ARGS, "--no-stats"]) == 0
+        ref = capsys.readouterr().out
+        assert main(["simulate", *self.ARGS, "--no-stats",
+                     "--chunk-seconds", "3600",
+                     "--backend", "serial"]) == 0
+        assert capsys.readouterr().out == ref
