@@ -8,6 +8,10 @@ Commands
 ``export``
     Run a twin and write its datasets (allocations, XID log, job series,
     cluster power) to a directory in the artifact layout.
+``stream``
+    Replay twin telemetry through the live streaming engine
+    (``repro.stream``) and print per-node throughput, watermark
+    accounting, and the streamed analysis summary.
 ``spec``
     Print the Summit system specification from the model (Table 1).
 """
@@ -15,6 +19,7 @@ Commands
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 import numpy as np
@@ -111,6 +116,61 @@ def cmd_export(args) -> int:
     return 0
 
 
+def cmd_stream(args) -> int:
+    from repro.core.report import fmt_si
+
+    pipe = _build_pipeline(args)
+    twin = pipe.twin
+    horizon = min(args.minutes * 60.0, twin.spec.horizon_s)
+    arrays = twin.builder.build(0.0, horizon, 1.0)
+    telemetry = twin.sampler().sample(arrays)
+
+    graph = pipe.stream_graph(
+        telemetry,
+        skew=not args.no_skew,
+        lateness_s=args.lateness,
+        batch_interval_s=args.batch_interval,
+        queue_capacity=args.queue_capacity,
+    )
+    if args.checkpoint and os.path.exists(args.checkpoint):
+        graph.load_checkpoint(args.checkpoint)
+        print(f"resumed from checkpoint {args.checkpoint}")
+    stats = graph.run(max_batches=args.max_batches)
+    if args.checkpoint and not graph.source.exhausted:
+        graph.save_checkpoint(args.checkpoint)
+        print(f"paused mid-stream; checkpoint saved to {args.checkpoint}")
+
+    src = graph.source
+    print(f"replayed {src.rows_emitted:,} of {src.rows_total:,} rows in "
+          f"{src.batches_emitted} batches "
+          f"({'skewed' if src.skew else 'skew-free'} arrival)")
+    if not args.no_stats:
+        print(stats.report())
+    print(
+        f"stream accounting: {stats.total_late_rows} late-dropped, "
+        f"{src.loss_dropped} loss-dropped, {src.loss_blanked} loss-blanked, "
+        f"{stats.total_stalls} stalls"
+    )
+
+    series = graph.result("aggregate")
+    if series is not None:
+        power = series["sum_inp"]
+        print(f"streamed cluster series: {series.n_rows} windows | "
+              f"mean {fmt_si(float(power.mean()), 'W')} | "
+              f"peak {fmt_si(float(power.max()), 'W')}")
+    pue_out = graph.result("pue")
+    if pue_out is not None:
+        print(f"rolling PUE: final {float(pue_out['pue_roll'][-1]):.3f}")
+    edges = graph.result("edges")
+    n_edges = edges.n_rows if edges is not None else 0
+    print(f"edges detected: {n_edges}")
+    spectral = graph.result("spectral")
+    if spectral is not None and int(spectral["n_segments"][0]) > 0:
+        print(f"dominant mode: {float(spectral['fft_freq_hz'][0]):.4f} Hz "
+              f"over {int(spectral['n_segments'][0])} Welch segments")
+    return 0
+
+
 def cmd_spec(args) -> int:
     from repro.core.report import render_table
     from repro.machine import NodePowerModel, Topology
@@ -144,6 +204,28 @@ def main(argv: list[str] | None = None) -> int:
     _add_pipeline_args(p_exp)
     p_exp.add_argument("--output", required=True, help="output directory")
     p_exp.set_defaults(fn=cmd_export)
+
+    p_str = sub.add_parser(
+        "stream", help="replay telemetry through the live streaming engine"
+    )
+    _add_twin_args(p_str)
+    _add_pipeline_args(p_str)
+    p_str.add_argument("--minutes", type=float, default=30.0,
+                       help="length of telemetry to replay")
+    p_str.add_argument("--batch-interval", type=float, default=5.0,
+                       help="source flush interval (arrival seconds)")
+    p_str.add_argument("--no-skew", action="store_true",
+                       help="zero the fan-in path delays (arrival = event)")
+    p_str.add_argument("--lateness", type=float, default=8.0,
+                       help="watermark lateness bound in seconds")
+    p_str.add_argument("--queue-capacity", type=int, default=8,
+                       help="bounded per-node input queue length")
+    p_str.add_argument("--max-batches", type=int, default=None,
+                       help="stop after N source batches (pause mid-stream)")
+    p_str.add_argument("--checkpoint", default=None,
+                       help="checkpoint file: resumed if present, written "
+                            "when pausing mid-stream")
+    p_str.set_defaults(fn=cmd_stream)
 
     p_spec = sub.add_parser("spec", help="print the Table 1 system spec")
     p_spec.set_defaults(fn=cmd_spec)

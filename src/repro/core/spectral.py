@@ -35,6 +35,52 @@ def dominant_mode(
     return (float(freqs[k]), float(2.0 * mag[k] / n))
 
 
+def welch_window(nperseg: int, window: str = "hann") -> np.ndarray:
+    """Taper for one Welch segment: ``"hann"`` or ``"boxcar"``."""
+    if window == "hann":
+        return np.hanning(nperseg)
+    if window == "boxcar":
+        return np.ones(nperseg)
+    raise ValueError(f"unknown window {window!r} (use 'hann' or 'boxcar')")
+
+
+def welch_psd(
+    x: np.ndarray,
+    dt: float,
+    nperseg: int = 64,
+    hop: int | None = None,
+    window: str = "hann",
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Averaged periodogram of ``x`` over ``nperseg``-sample segments.
+
+    Segments start at ``0, hop, 2*hop, ...`` while they fit entirely inside
+    ``x`` (trailing partial segments are ignored); each is tapered and its
+    ``|rfft|^2 / sum(w^2)`` accumulated.  Returns ``(freqs, psd,
+    n_segments)`` — the batch reference the streaming
+    :class:`~repro.stream.operators.OnlineSpectral` estimator matches
+    exactly, since both walk the same segments in the same order.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if nperseg < 2:
+        raise ValueError("nperseg must be >= 2")
+    hop = int(hop) if hop is not None else nperseg // 2
+    if not 1 <= hop <= nperseg:
+        raise ValueError("hop must be in [1, nperseg]")
+    win = welch_window(nperseg, window)
+    wss = float(np.sum(win * win))
+    freqs = np.fft.rfftfreq(nperseg, d=dt)
+    psd_sum = np.zeros(nperseg // 2 + 1)
+    n_segments = 0
+    start = 0
+    while start + nperseg <= len(x):
+        spec = np.fft.rfft(x[start:start + nperseg] * win)
+        psd_sum += (spec.real * spec.real + spec.imag * spec.imag) / wss
+        n_segments += 1
+        start += hop
+    psd = psd_sum / n_segments if n_segments else psd_sum
+    return (freqs, psd, n_segments)
+
+
 def job_spectral_summary(
     job_series: Table,
     dt: float = 10.0,

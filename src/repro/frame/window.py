@@ -31,6 +31,16 @@ def window_index(
     )
 
 
+def window_span(
+    index: int, width: float, origin: float = 0.0
+) -> tuple[float, float]:
+    """``(start, end)`` of window ``index`` — inverse of :func:`window_index`
+    (the same arithmetic that rebuilds the ``out_time`` column, so streaming
+    finalization timestamps match batch output exactly)."""
+    start = float(index) * width + origin
+    return (start, start + width)
+
+
 def window_aggregate(
     table: Table,
     *,

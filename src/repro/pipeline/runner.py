@@ -442,6 +442,75 @@ class Pipeline:
             return _AggregateChunk(value)(coarse)
         return concat(tables).sort("timestamp")
 
+    # ---------------- live streaming route ----------------
+
+    def stream_graph(
+        self,
+        telemetry: Table,
+        values: Sequence[str] = ("input_power",),
+        skew: bool = True,
+        seed: int | None = None,
+        lateness_s: float = 8.0,
+        batch_interval_s: float = 5.0,
+        queue_capacity: int = 8,
+        loss_events: Sequence = (),
+        edge_threshold_w: float | None = None,
+        spectral: bool = True,
+    ):
+        """The standard live-analysis graph over a telemetry replay.
+
+        Wires ``repro.stream`` into the same analysis chain the batch
+        pipeline runs: replay source -> online coarsen -> running cluster
+        aggregate -> {edge detector, rolling PUE, online spectral}.  With
+        ``skew=False`` (and no loss events) the streamed results are
+        bit-identical to :meth:`coarsen` / :meth:`cluster_series` on the
+        sorted telemetry; the default ``lateness_s`` of 8 s covers the
+        fan-in path's maximum skew so nothing is late under ``skew=True``
+        either.  Returns the un-run :class:`~repro.stream.runtime.StreamGraph`.
+        """
+        from repro.config import SUMMIT
+        from repro.stream import (
+            OnlineSpectral,
+            StreamGraph,
+            StreamingClusterAggregate,
+            StreamingCoarsen,
+            StreamingEdgeDetector,
+            StreamingPUE,
+            TelemetryReplaySource,
+        )
+
+        source = TelemetryReplaySource(
+            telemetry,
+            batch_interval_s=batch_interval_s,
+            skew=skew,
+            seed=self.spec.seed if seed is None else seed,
+            loss_events=loss_events,
+        )
+        graph = StreamGraph(source, queue_capacity=queue_capacity)
+        graph.add(
+            StreamingCoarsen(values, lateness_s=lateness_s), collect=True
+        )
+        graph.add(
+            StreamingClusterAggregate(value=values[0]),
+            after="coarsen",
+            collect=True,
+        )
+        if edge_threshold_w is None:
+            edge_threshold_w = (
+                SUMMIT.edge_threshold_w_per_node * self.spec.n_nodes
+            )
+        graph.add(
+            StreamingEdgeDetector(edge_threshold_w, value="sum_inp"),
+            after="aggregate",
+        )
+        graph.add(StreamingPUE(it="sum_inp"), after="aggregate")
+        if spectral:
+            graph.add(
+                OnlineSpectral(dt=SUMMIT.coarsen_window_s, value="sum_inp"),
+                after="aggregate",
+            )
+        return graph
+
     # ---------------- end-to-end export DAG ----------------
 
     def export(self, root, day_s: float = 86_400.0) -> dict[str, object]:

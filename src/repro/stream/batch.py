@@ -1,0 +1,36 @@
+"""Record batches: the unit of data flowing through :mod:`repro.stream`.
+
+A :class:`RecordBatch` is a small :class:`~repro.frame.table.Table` slice
+plus the *arrival time* at which the fan-in path delivered it to the point
+of analysis.  Event time lives in a column of the table (``timestamp`` for
+telemetry); arrival time is the wall-clock of the modeled collection path,
+so ``arrival_time - event_time`` is the propagation delay the paper
+measures at 4.1 s mean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.frame.table import Table
+
+
+@dataclass(frozen=True)
+class RecordBatch:
+    """One batch of records delivered at ``arrival_time``.
+
+    ``arrival_time`` is carried downstream unchanged by operators (an
+    operator's output is "as fresh as" the input that triggered it), which
+    is what makes end-to-end lag measurable at any point in the graph.
+    """
+
+    table: Table
+    arrival_time: float
+
+    @property
+    def n_rows(self) -> int:
+        return self.table.n_rows
+
+    def with_table(self, table: Table) -> "RecordBatch":
+        """Same arrival time, different payload."""
+        return RecordBatch(table=table, arrival_time=self.arrival_time)

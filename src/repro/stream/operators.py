@@ -1,0 +1,729 @@
+"""Incremental, single-pass streaming operators.
+
+Each operator consumes :class:`~repro.stream.batch.RecordBatch` objects and
+emits finalized results as soon as its watermark allows.  The contract with
+the batch analyses in :mod:`repro.core` is exact:
+
+* :class:`StreamingCoarsen` / :class:`StreamingClusterAggregate` buffer only
+  *open* windows and finalize them through the very same
+  :func:`~repro.frame.window.window_aggregate` / group-by kernels the batch
+  path runs, over the same rows in the same order — so for skew-free input
+  the output is bit-identical to :func:`~repro.core.coarsen.coarsen_telemetry`
+  and :func:`~repro.core.aggregate.cluster_power_series` (asserted by
+  ``tests/stream/test_equivalence.py``).
+* :class:`StreamingEdgeDetector` replays the
+  :func:`~repro.core.edges.detect_edges` state machine one sample at a time
+  (run merging, 80% return scan, truncation at end of stream) with O(open
+  edges) state and a ring buffer of recent samples for snapshots.
+* :class:`StreamingPUE` is the elementwise :func:`~repro.core.pue.pue_series`
+  plus a rolling-window mean.
+* :class:`OnlineSpectral` is an incremental Welch periodogram over the
+  differenced series, matching :func:`~repro.core.spectral.welch_psd` on the
+  same samples exactly.
+
+Records whose window already finalized are **late**: they are dropped and
+counted (never silently folded in), which is what lets watermark accounting
+explain every sample that a skewed or lossy replay loses.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.config import SUMMIT
+from repro.frame.table import Table, concat
+from repro.frame.window import (
+    DEFAULT_STATS,
+    window_aggregate,
+    window_index,
+    window_span,
+)
+from repro.stream.batch import RecordBatch
+from repro.stream.watermark import BoundedLatenessWatermark
+
+
+class Operator:
+    """Base class: process batches, flush at end of stream, checkpoint."""
+
+    name: str = "operator"
+
+    def process(self, batch: RecordBatch) -> list[RecordBatch]:
+        """Consume one batch; return zero or more finalized output batches."""
+        raise NotImplementedError
+
+    def flush(self) -> list[RecordBatch]:
+        """Finalize all remaining state at end of stream."""
+        return []
+
+    def state_dict(self) -> dict:
+        """Checkpointable operator state (plain python + numpy only)."""
+        return {}
+
+    def load_state(self, state: dict) -> None:
+        """Restore state produced by :meth:`state_dict`."""
+
+    def stat_counters(self) -> dict:
+        """Accounting counters mirrored into :class:`NodeStats`."""
+        return {}
+
+
+def _freeze_buffers(buffers: dict) -> dict:
+    """Serialize per-key buffered table parts (concat preserves row order)."""
+    return {
+        key: concat(parts).as_dict() if len(parts) > 1 else parts[0].as_dict()
+        for key, parts in buffers.items()
+    }
+
+
+def _thaw_buffers(frozen: dict) -> dict:
+    return {key: [Table(cols)] for key, cols in frozen.items()}
+
+
+class StreamingCoarsen(Operator):
+    """Online 10 s coarsening: the streaming counterpart of
+    :func:`~repro.core.coarsen.coarsen_telemetry`.
+
+    Rows are buffered per open window; when the watermark passes a window's
+    end, the window finalizes through :func:`window_aggregate` over its
+    buffered rows (arrival order), producing the exact count/min/max/mean/std
+    rows of the batch path.  Memory is bounded by the windows still open
+    (window width + allowed lateness), never by stream length.
+    """
+
+    name = "coarsen"
+
+    def __init__(
+        self,
+        values: Sequence[str],
+        width: float = SUMMIT.coarsen_window_s,
+        by: Sequence[str] = ("node",),
+        time: str = "timestamp",
+        drop_nan: bool = True,
+        lateness_s: float = 0.0,
+        origin: float = 0.0,
+    ):
+        if width <= 0:
+            raise ValueError("window width must be positive")
+        self.values = list(values)
+        self.width = float(width)
+        self.by = list(by)
+        self.time = time
+        self.drop_nan = drop_nan
+        self.origin = float(origin)
+        self.watermark = BoundedLatenessWatermark(lateness_s)
+        self._buffers: dict[int, list[Table]] = {}
+        self._finalized_below: int | None = None
+        self._last_arrival = float("nan")
+        self.late_rows = 0
+        self.nan_rows = 0
+        self.windows_finalized = 0
+        self.lag_sum_s = 0.0
+        self.lag_n = 0
+
+    def process(self, batch: RecordBatch) -> list[RecordBatch]:
+        work = batch.table
+        missing = [c for c in (self.time, *self.values, *self.by)
+                   if c not in work]
+        if missing:
+            raise KeyError(f"telemetry lacks columns {missing}")
+        self._last_arrival = batch.arrival_time
+        # watermark advances on everything that arrived, dropped or not
+        self.watermark.observe(work[self.time])
+
+        if self.drop_nan and work.n_rows:
+            ok = np.ones(work.n_rows, dtype=bool)
+            for c in self.values:
+                col = work[c]
+                if col.dtype.kind == "f":
+                    ok &= np.isfinite(col)
+            if not ok.all():
+                self.nan_rows += int((~ok).sum())
+                work = work.filter(ok)
+
+        if work.n_rows:
+            win = window_index(work[self.time], self.width, self.origin)
+            if self._finalized_below is not None:
+                late = win < self._finalized_below
+                if late.any():
+                    self.late_rows += int(late.sum())
+                    keep = ~late
+                    work = work.filter(keep)
+                    win = win[keep]
+            for k in np.unique(win):
+                self._buffers.setdefault(int(k), []).append(
+                    work.filter(win == k)
+                )
+
+        return self._finalize(batch.arrival_time, count_lag=True)
+
+    def _finalize(
+        self,
+        arrival_time: float,
+        count_lag: bool,
+        everything: bool = False,
+    ) -> list[RecordBatch]:
+        wm = self.watermark.current
+        if everything:
+            closing = sorted(self._buffers)
+        else:
+            if not math.isfinite(wm):
+                return []
+            bound = int(window_index(np.array([wm]), self.width, self.origin)[0])
+            closing = sorted(k for k in self._buffers if k < bound)
+            if self._finalized_below is None or bound > self._finalized_below:
+                self._finalized_below = bound
+        if not closing:
+            return []
+        parts = [p for k in closing for p in self._buffers.pop(k)]
+        sub = parts[0] if len(parts) == 1 else concat(parts)
+        out = window_aggregate(
+            sub,
+            time=self.time,
+            width=self.width,
+            values=self.values,
+            stats=DEFAULT_STATS,
+            by=self.by,
+            origin=self.origin,
+        )
+        self.windows_finalized += len(closing)
+        if count_lag:
+            for k in closing:
+                self.lag_sum_s += arrival_time - window_span(k, self.width,
+                                                             self.origin)[1]
+                self.lag_n += 1
+        return [RecordBatch(table=out, arrival_time=arrival_time)]
+
+    def flush(self) -> list[RecordBatch]:
+        if not self._buffers:
+            return []
+        return self._finalize(self._last_arrival, count_lag=False,
+                              everything=True)
+
+    def state_dict(self) -> dict:
+        return {
+            "buffers": _freeze_buffers(self._buffers),
+            "watermark": self.watermark.state_dict(),
+            "finalized_below": self._finalized_below,
+            "last_arrival": self._last_arrival,
+            "late_rows": self.late_rows,
+            "nan_rows": self.nan_rows,
+            "windows_finalized": self.windows_finalized,
+            "lag_sum_s": self.lag_sum_s,
+            "lag_n": self.lag_n,
+        }
+
+    def load_state(self, state: dict) -> None:
+        self._buffers = _thaw_buffers(state["buffers"])
+        self.watermark.load_state(state["watermark"])
+        self._finalized_below = state["finalized_below"]
+        self._last_arrival = state["last_arrival"]
+        self.late_rows = state["late_rows"]
+        self.nan_rows = state["nan_rows"]
+        self.windows_finalized = state["windows_finalized"]
+        self.lag_sum_s = state["lag_sum_s"]
+        self.lag_n = state["lag_n"]
+
+    def stat_counters(self) -> dict:
+        return {
+            "late_rows": self.late_rows,
+            "nan_rows": self.nan_rows,
+            "lag_sum_s": self.lag_sum_s,
+            "lag_n": self.lag_n,
+        }
+
+
+class StreamingClusterAggregate(Operator):
+    """Running cluster collapse: the streaming counterpart of
+    :func:`~repro.core.aggregate.cluster_power_series`.
+
+    Buffers coarsened rows per window-start timestamp; a timestamp closes
+    once the watermark (max timestamp seen minus lateness) moves past it,
+    collapsing through the same group-by as the batch path.
+    """
+
+    name = "aggregate"
+
+    def __init__(
+        self,
+        value: str = "input_power",
+        width: float = SUMMIT.coarsen_window_s,
+        time: str = "timestamp",
+        lateness_s: float = 0.0,
+    ):
+        self.value = value
+        self.width = float(width)
+        self.time = time
+        self.lateness_s = float(lateness_s)
+        self._buffers: dict[float, list[Table]] = {}
+        self._max_seen = -math.inf
+        self._closed_below = -math.inf
+        self._last_arrival = float("nan")
+        self.late_rows = 0
+        self.windows_finalized = 0
+        self.lag_sum_s = 0.0
+        self.lag_n = 0
+
+    def process(self, batch: RecordBatch) -> list[RecordBatch]:
+        work = batch.table
+        for c in (f"{self.value}_mean", f"{self.value}_max", self.time):
+            if c not in work:
+                raise KeyError(f"expected coarsened column {c!r}")
+        self._last_arrival = batch.arrival_time
+        if work.n_rows:
+            ts = np.asarray(work[self.time], dtype=np.float64)
+            late = ts < self._closed_below
+            if late.any():
+                self.late_rows += int(late.sum())
+                work = work.filter(~late)
+                ts = ts[~late]
+            self._max_seen = max(self._max_seen, float(ts.max())) \
+                if ts.size else self._max_seen
+            for t in np.unique(ts):
+                self._buffers.setdefault(float(t), []).append(
+                    work.filter(ts == t)
+                )
+        return self._close(batch.arrival_time, count_lag=True)
+
+    def _close(
+        self, arrival_time: float, count_lag: bool, everything: bool = False
+    ) -> list[RecordBatch]:
+        from repro.core.aggregate import cluster_power_series
+
+        if everything:
+            closing = sorted(self._buffers)
+        else:
+            if not math.isfinite(self._max_seen):
+                return []
+            bound = self._max_seen - self.lateness_s
+            closing = sorted(t for t in self._buffers if t < bound)
+            self._closed_below = max(self._closed_below, bound)
+        if not closing:
+            return []
+        parts = [p for t in closing for p in self._buffers.pop(t)]
+        sub = parts[0] if len(parts) == 1 else concat(parts)
+        out = cluster_power_series(sub, value=self.value)
+        self.windows_finalized += len(closing)
+        if count_lag:
+            for t in closing:
+                self.lag_sum_s += arrival_time - (t + self.width)
+                self.lag_n += 1
+        return [RecordBatch(table=out, arrival_time=arrival_time)]
+
+    def flush(self) -> list[RecordBatch]:
+        if not self._buffers:
+            return []
+        return self._close(self._last_arrival, count_lag=False,
+                           everything=True)
+
+    def state_dict(self) -> dict:
+        return {
+            "buffers": _freeze_buffers(self._buffers),
+            "max_seen": self._max_seen,
+            "closed_below": self._closed_below,
+            "last_arrival": self._last_arrival,
+            "late_rows": self.late_rows,
+            "windows_finalized": self.windows_finalized,
+            "lag_sum_s": self.lag_sum_s,
+            "lag_n": self.lag_n,
+        }
+
+    def load_state(self, state: dict) -> None:
+        self._buffers = _thaw_buffers(state["buffers"])
+        self._max_seen = state["max_seen"]
+        self._closed_below = state["closed_below"]
+        self._last_arrival = state["last_arrival"]
+        self.late_rows = state["late_rows"]
+        self.windows_finalized = state["windows_finalized"]
+        self.lag_sum_s = state["lag_sum_s"]
+        self.lag_n = state["lag_n"]
+
+    def stat_counters(self) -> dict:
+        return {
+            "late_rows": self.late_rows,
+            "lag_sum_s": self.lag_sum_s,
+            "lag_n": self.lag_n,
+        }
+
+
+#: output schema of the streaming edge detector (matches
+#: :func:`repro.core.edges.detect_edges`)
+_EDGE_SCHEMA = (
+    ("start_index", np.int64),
+    ("time", np.float64),
+    ("direction", np.int64),
+    ("amplitude_w", np.float64),
+    ("initial_w", np.float64),
+    ("peak_w", np.float64),
+    ("duration_s", np.float64),
+    ("returned", np.bool_),
+)
+
+
+def _edge_table(rows: list[dict]) -> Table:
+    return Table({
+        name: np.array([r[name] for r in rows], dtype=dt)
+        for name, dt in _EDGE_SCHEMA
+    })
+
+
+class StreamingEdgeDetector(Operator):
+    """Single-pass rising/falling edge detection on a power series.
+
+    Replays :func:`~repro.core.edges.detect_edges` incrementally: a *run* of
+    consecutive same-direction threshold crossings merges into one edge; the
+    edge then stays *pending* while its 80% return scan tracks the running
+    peak, and completes (with exact duration) the first sample the return
+    target is hit.  At end of stream, pending edges are truncated with
+    ``returned=False``, exactly like the batch scan hitting the end of the
+    array.  State is O(open edges) plus a ring buffer of recent samples for
+    :meth:`snapshot` extraction around fresh edges.
+    """
+
+    name = "edges"
+
+    def __init__(
+        self,
+        threshold_w: float,
+        return_fraction: float = SUMMIT.edge_return_fraction,
+        time: str = "timestamp",
+        value: str = "sum_inp",
+        ring_capacity: int = 512,
+    ):
+        self.threshold_w = float(threshold_w)
+        self.return_fraction = float(return_fraction)
+        self.time = time
+        self.value = value
+        self._idx = 0
+        self._prev_t = float("nan")
+        self._prev_p = float("nan")
+        self._run: dict | None = None
+        self._pending: list[dict] = []
+        self.edges_found = 0
+        self.ring_capacity = int(ring_capacity)
+        self._ring_t = np.full(self.ring_capacity, np.nan)
+        self._ring_v = np.full(self.ring_capacity, np.nan)
+        self._ring_n = 0
+
+    # ---------------- per-sample state machine ----------------
+
+    def _finalize_run(self, end_step: int, end_power: float) -> None:
+        run = self._run
+        self._pending.append({
+            "start_index": run["start"],
+            "time": run["t_start"],
+            "direction": run["sign"],
+            "initial_w": run["initial"],
+            "amplitude_w": end_power - run["initial"],
+            "peak_w": end_power,
+            "end_step": end_step,
+        })
+        self._run = None
+
+    def _scan_pending(self, t: float, p: float, completed: list[dict]) -> None:
+        frac = self.return_fraction
+        still = []
+        for e in self._pending:
+            if e["direction"] > 0:
+                if p > e["peak_w"]:
+                    e["peak_w"] = p
+                target = e["peak_w"] - frac * (e["peak_w"] - e["initial_w"])
+                hit = p <= target
+            else:
+                if p < e["peak_w"]:
+                    e["peak_w"] = p
+                target = e["peak_w"] - frac * (e["peak_w"] - e["initial_w"])
+                hit = p >= target
+            if hit:
+                e["duration_s"] = t - e["time"]
+                e["returned"] = True
+                completed.append(e)
+            else:
+                still.append(e)
+        self._pending = still
+
+    def process(self, batch: RecordBatch) -> list[RecordBatch]:
+        work = batch.table
+        for c in (self.time, self.value):
+            if c not in work:
+                raise KeyError(f"series lacks column {c!r}")
+        times = np.asarray(work[self.time], dtype=np.float64)
+        power = np.asarray(work[self.value], dtype=np.float64)
+        completed: list[dict] = []
+        thr = self.threshold_w
+        for t, p in zip(times, power):
+            t = float(t)
+            p = float(p)
+            j = self._idx
+            if j > 0:
+                d = p - self._prev_p
+                s = 1 if d > thr else (-1 if d < -thr else 0)
+                if self._run is not None and s != self._run["sign"]:
+                    # diff j-1 broke the run: crossing steps ended at j-1
+                    self._finalize_run(end_step=j - 1, end_power=self._prev_p)
+                if s != 0 and self._run is None:
+                    self._run = {
+                        "sign": s,
+                        "start": j - 1,
+                        "t_start": self._prev_t,
+                        "initial": self._prev_p,
+                    }
+                self._scan_pending(t, p, completed)
+            self._push_ring(t, p)
+            self._prev_t = t
+            self._prev_p = p
+            self._idx += 1
+        if not completed:
+            return []
+        self.edges_found += len(completed)
+        return [batch.with_table(_edge_table(completed))]
+
+    def flush(self) -> list[RecordBatch]:
+        if self._idx and self._run is not None:
+            # series ended mid-run: the last sample closes the crossing steps
+            self._finalize_run(end_step=self._idx - 1, end_power=self._prev_p)
+        if not self._pending:
+            return []
+        truncated = []
+        for e in sorted(self._pending, key=lambda e: e["start_index"]):
+            e["duration_s"] = self._prev_t - e["time"]
+            e["returned"] = False
+            truncated.append(e)
+        self._pending = []
+        self.edges_found += len(truncated)
+        return [RecordBatch(table=_edge_table(truncated),
+                            arrival_time=self._prev_t)]
+
+    # ---------------- snapshot ring ----------------
+
+    def _push_ring(self, t: float, p: float) -> None:
+        slot = self._ring_n % self.ring_capacity
+        self._ring_t[slot] = t
+        self._ring_v[slot] = p
+        self._ring_n += 1
+
+    def ring_contents(self) -> tuple[np.ndarray, np.ndarray]:
+        """Buffered ``(times, values)`` in time order (oldest first)."""
+        n = min(self._ring_n, self.ring_capacity)
+        head = self._ring_n % self.ring_capacity
+        idx = (np.arange(n) + (head if self._ring_n > self.ring_capacity
+                               else 0)) % self.ring_capacity
+        return self._ring_t[idx], self._ring_v[idx]
+
+    def snapshot(
+        self, center_time: float, before_s: float, after_s: float
+    ) -> np.ndarray:
+        """NaN-padded window around ``center_time`` from the ring buffer
+        (same alignment as :func:`repro.core.edges.extract_snapshot`)."""
+        from repro.core.edges import extract_snapshot
+
+        times, values = self.ring_contents()
+        if len(times) < 2:
+            raise ValueError("ring buffer holds fewer than two samples")
+        return extract_snapshot(times, values, center_time, before_s, after_s)
+
+    # ---------------- checkpointing ----------------
+
+    def state_dict(self) -> dict:
+        return {
+            "idx": self._idx,
+            "prev_t": self._prev_t,
+            "prev_p": self._prev_p,
+            "run": dict(self._run) if self._run else None,
+            "pending": [dict(e) for e in self._pending],
+            "edges_found": self.edges_found,
+            "ring_t": self._ring_t.copy(),
+            "ring_v": self._ring_v.copy(),
+            "ring_n": self._ring_n,
+        }
+
+    def load_state(self, state: dict) -> None:
+        self._idx = state["idx"]
+        self._prev_t = state["prev_t"]
+        self._prev_p = state["prev_p"]
+        self._run = dict(state["run"]) if state["run"] else None
+        self._pending = [dict(e) for e in state["pending"]]
+        self.edges_found = state["edges_found"]
+        self._ring_t = state["ring_t"].copy()
+        self._ring_v = state["ring_v"].copy()
+        self._ring_n = state["ring_n"]
+
+
+class StreamingPUE(Operator):
+    """Rolling PUE over a streamed cluster series.
+
+    The instantaneous column is the elementwise
+    :func:`~repro.core.pue.pue_series` (bit-identical to batch); the
+    ``pue_roll`` column is a trailing ``rolling_s``-second mean maintained
+    from a bounded buffer of recent samples.  ``overhead`` is a constant
+    fraction of IT power, the name of an overhead column carried by the
+    input, or a callable ``(it_w, times) -> overhead_w`` — a memoryless
+    stand-in for the central plant when streaming.
+    """
+
+    name = "pue"
+
+    def __init__(
+        self,
+        it: str = "sum_inp",
+        overhead: float | str | object = 0.1,
+        time: str = "timestamp",
+        rolling_s: float = 600.0,
+    ):
+        self.it = it
+        self.overhead = overhead
+        self.time = time
+        self.rolling_s = float(rolling_s)
+        self._roll_t: list[float] = []
+        self._roll_v: list[float] = []
+
+    def _overhead_of(self, it: np.ndarray, times: np.ndarray) -> np.ndarray:
+        if callable(self.overhead):
+            return np.asarray(self.overhead(it, times), dtype=np.float64)
+        return float(self.overhead) * it
+
+    def process(self, batch: RecordBatch) -> list[RecordBatch]:
+        from repro.core.pue import pue_series
+
+        work = batch.table
+        for c in (self.it, self.time):
+            if c not in work:
+                raise KeyError(f"series lacks column {c!r}")
+        it = np.asarray(work[self.it], dtype=np.float64)
+        times = np.asarray(work[self.time], dtype=np.float64)
+        if isinstance(self.overhead, str):
+            ov = np.asarray(work[self.overhead], dtype=np.float64)
+        else:
+            ov = self._overhead_of(it, times)
+        pue = pue_series(it, ov)
+        roll = np.empty(len(pue))
+        for i, (t, v) in enumerate(zip(times, pue)):
+            self._roll_t.append(float(t))
+            self._roll_v.append(float(v))
+            while self._roll_t and self._roll_t[0] < t - self.rolling_s:
+                self._roll_t.pop(0)
+                self._roll_v.pop(0)
+            roll[i] = sum(self._roll_v) / len(self._roll_v)
+        out = work.with_columns({"pue": pue, "pue_roll": roll})
+        return [batch.with_table(out)]
+
+    def state_dict(self) -> dict:
+        return {
+            "roll_t": list(self._roll_t),
+            "roll_v": list(self._roll_v),
+        }
+
+    def load_state(self, state: dict) -> None:
+        self._roll_t = list(state["roll_t"])
+        self._roll_v = list(state["roll_v"])
+
+
+class OnlineSpectral(Operator):
+    """Incremental Welch periodogram of a differenced power stream.
+
+    The streaming counterpart of the paper's differenced-FFT
+    characterization (:mod:`repro.core.spectral`): samples are differenced
+    on arrival, collected into ``nperseg``-sample segments advancing by
+    ``hop``, and each full segment's windowed periodogram is accumulated.
+    The running estimate matches :func:`~repro.core.spectral.welch_psd`
+    over the same differenced samples exactly (same segments, same ops).
+    """
+
+    name = "spectral"
+
+    def __init__(
+        self,
+        dt: float,
+        nperseg: int = 64,
+        hop: int | None = None,
+        value: str = "sum_inp",
+        window: str = "hann",
+    ):
+        from repro.core.spectral import welch_window
+
+        if nperseg < 2:
+            raise ValueError("nperseg must be >= 2")
+        self.dt = float(dt)
+        self.nperseg = int(nperseg)
+        self.hop = int(hop) if hop is not None else self.nperseg // 2
+        if not 1 <= self.hop <= self.nperseg:
+            raise ValueError("hop must be in [1, nperseg]")
+        self.value = value
+        self.window = window
+        self._win = welch_window(self.nperseg, window)
+        self._wss = float(np.sum(self._win * self._win))
+        self._prev: float | None = None
+        self._seg = np.zeros(self.nperseg)
+        self._filled = 0
+        self._psd_sum = np.zeros(self.nperseg // 2 + 1)
+        self.n_segments = 0
+
+    def process(self, batch: RecordBatch) -> list[RecordBatch]:
+        work = batch.table
+        if self.value not in work:
+            raise KeyError(f"series lacks column {self.value!r}")
+        for v in np.asarray(work[self.value], dtype=np.float64):
+            v = float(v)
+            if self._prev is not None:
+                self._push(v - self._prev)
+            self._prev = v
+        return []
+
+    def _push(self, d: float) -> None:
+        self._seg[self._filled] = d
+        self._filled += 1
+        if self._filled == self.nperseg:
+            spec = np.fft.rfft(self._seg * self._win)
+            self._psd_sum += (spec.real * spec.real
+                              + spec.imag * spec.imag) / self._wss
+            self.n_segments += 1
+            keep = self.nperseg - self.hop
+            if keep:
+                self._seg[:keep] = self._seg[self.hop:].copy()
+            self._filled = keep
+
+    # ---------------- estimates ----------------
+
+    def freqs(self) -> np.ndarray:
+        return np.fft.rfftfreq(self.nperseg, d=self.dt)
+
+    def periodogram(self) -> np.ndarray:
+        """Running Welch average (zeros before the first full segment)."""
+        if self.n_segments == 0:
+            return np.zeros_like(self._psd_sum)
+        return self._psd_sum / self.n_segments
+
+    def dominant_mode(self) -> tuple[float, float]:
+        """(frequency_hz, psd) of the strongest non-DC bin so far."""
+        if self.n_segments == 0:
+            return (float("nan"), float("nan"))
+        psd = self.periodogram()
+        k = 1 + int(np.argmax(psd[1:]))
+        return (float(self.freqs()[k]), float(psd[k]))
+
+    def flush(self) -> list[RecordBatch]:
+        freq, power = self.dominant_mode()
+        out = Table({
+            "fft_freq_hz": np.array([freq]),
+            "fft_psd": np.array([power]),
+            "n_segments": np.array([self.n_segments], dtype=np.int64),
+        })
+        return [RecordBatch(table=out, arrival_time=float("nan"))]
+
+    def state_dict(self) -> dict:
+        return {
+            "prev": self._prev,
+            "seg": self._seg.copy(),
+            "filled": self._filled,
+            "psd_sum": self._psd_sum.copy(),
+            "n_segments": self.n_segments,
+        }
+
+    def load_state(self, state: dict) -> None:
+        self._prev = state["prev"]
+        self._seg = state["seg"].copy()
+        self._filled = state["filled"]
+        self._psd_sum = state["psd_sum"].copy()
+        self.n_segments = state["n_segments"]

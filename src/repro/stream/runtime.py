@@ -1,0 +1,309 @@
+"""The streaming runtime: a pull-based dataflow graph with backpressure.
+
+A :class:`StreamGraph` wires a :class:`~repro.stream.source.TelemetryReplaySource`
+into a tree of :class:`~repro.stream.operators.Operator` nodes.  Scheduling
+is deterministic and single-threaded: every scheduler pass services nodes
+**downstream-first**, so queues drain toward the leaves before the source
+is asked for the next batch.  Each node has a bounded input queue; a
+producer whose downstream queue is full parks the overflow in its own
+outbox and counts a *stall* — backpressure propagates upstream without ever
+dropping a batch.
+
+Per-node throughput/stall/lag counters live in a
+:class:`~repro.stream.stats.StreamStats` (the streaming analogue of the
+chunked pipeline's ``PipelineStats``), and the whole graph — source cursor,
+operator state, queued batches — checkpoints to a plain dict (or a pickle
+file) so a stream can resume mid-run and finish with the exact outputs of
+an uninterrupted one.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time as _time
+from collections import deque
+
+from repro.frame.table import Table, concat
+from repro.stream.batch import RecordBatch
+from repro.stream.operators import Operator
+from repro.stream.source import TelemetryReplaySource
+from repro.stream.stats import StreamStats
+
+
+def _freeze_batch(batch: RecordBatch) -> dict:
+    return {"cols": batch.table.as_dict(), "arrival_time": batch.arrival_time}
+
+
+def _thaw_batch(frozen: dict) -> RecordBatch:
+    return RecordBatch(table=Table(frozen["cols"]),
+                       arrival_time=frozen["arrival_time"])
+
+
+class _Node:
+    """One operator plus its bounded input queue and overflow outbox."""
+
+    __slots__ = ("name", "op", "queue", "outbox", "downstream", "collect")
+
+    def __init__(self, name: str, op: Operator, collect: bool | None):
+        self.name = name
+        self.op = op
+        self.queue: deque[RecordBatch] = deque()
+        self.outbox: deque[RecordBatch] = deque()
+        self.downstream: list["_Node"] = []
+        self.collect = collect
+
+
+class StreamGraph:
+    """A tree of streaming operators fed by a telemetry replay source.
+
+    Build with :meth:`add` (each operator attaches after the source or a
+    named upstream node), then :meth:`run`.  Leaf output — and any node
+    added with ``collect=True`` — accumulates in :attr:`collected` and is
+    retrieved with :meth:`result`.
+    """
+
+    def __init__(
+        self,
+        source: TelemetryReplaySource,
+        queue_capacity: int = 8,
+        stats: StreamStats | None = None,
+    ):
+        if queue_capacity < 1:
+            raise ValueError("queue_capacity must be >= 1")
+        self.source = source
+        self.queue_capacity = int(queue_capacity)
+        self.stats = stats if stats is not None else StreamStats()
+        self._nodes: dict[str, _Node] = {}
+        self._roots: list[_Node] = []
+        self._order: list[_Node] = []  # topological (parents first)
+        self.collected: dict[str, list[RecordBatch]] = {}
+        self._flushed = False
+
+    # ---------------- construction ----------------
+
+    def add(
+        self,
+        op: Operator,
+        after: str | None = None,
+        name: str | None = None,
+        collect: bool | None = None,
+    ) -> str:
+        """Attach ``op`` downstream of node ``after`` (or of the source).
+
+        ``collect=None`` collects output only if the node is still a leaf
+        when :meth:`run` starts; ``True``/``False`` force it.  Returns the
+        node's (unique) name.
+        """
+        base = name or op.name
+        final = base
+        suffix = 2
+        while final in self._nodes:
+            final = f"{base}{suffix}"
+            suffix += 1
+        node = _Node(final, op, collect)
+        if after is None:
+            self._roots.append(node)
+        else:
+            try:
+                self._nodes[after].downstream.append(node)
+            except KeyError:
+                raise KeyError(
+                    f"no upstream node {after!r}; have {list(self._nodes)}"
+                ) from None
+        self._nodes[final] = node
+        self._order = self._topo_order()
+        return final
+
+    def _topo_order(self) -> list[_Node]:
+        order: list[_Node] = []
+
+        def visit(node: _Node) -> None:
+            order.append(node)
+            for child in node.downstream:
+                visit(child)
+
+        for root in self._roots:
+            visit(root)
+        return order
+
+    @property
+    def node_names(self) -> list[str]:
+        return [n.name for n in self._order]
+
+    # ---------------- scheduling ----------------
+
+    def _emit(self, node: _Node, outputs: list[RecordBatch]) -> None:
+        st = self.stats.node(node.name)
+        for out in outputs:
+            st.batches_out += 1
+            st.rows_out += out.n_rows
+            if node.collect:
+                self.collected.setdefault(node.name, []).append(out)
+        if node.downstream:
+            node.outbox.extend(outputs)
+
+    def _drain_outbox(self, node: _Node) -> bool:
+        """Push parked output downstream; count a stall if still blocked."""
+        moved = False
+        while node.outbox:
+            batch = node.outbox[0]
+            if any(len(c.queue) >= self.queue_capacity
+                   for c in node.downstream):
+                self.stats.node(node.name).stalls += 1
+                break
+            node.outbox.popleft()
+            for child in node.downstream:
+                child.queue.append(batch)
+                cst = self.stats.node(child.name)
+                if len(child.queue) > cst.max_queue:
+                    cst.max_queue = len(child.queue)
+            moved = True
+        return moved
+
+    def _step(self, node: _Node) -> bool:
+        """Service one node: drain its outbox, then process one batch."""
+        moved = self._drain_outbox(node)
+        if node.outbox or not node.queue:
+            return moved
+        batch = node.queue.popleft()
+        st = self.stats.node(node.name)
+        st.batches_in += 1
+        st.rows_in += batch.n_rows
+        t0 = _time.perf_counter()
+        outputs = node.op.process(batch)
+        st.wall_s += _time.perf_counter() - t0
+        self._emit(node, outputs)
+        self._drain_outbox(node)
+        return True
+
+    def _drain(self) -> None:
+        """Run scheduler passes until no node can make progress."""
+        while True:
+            progress = False
+            for node in reversed(self._order):
+                progress |= self._step(node)
+            if not progress:
+                return
+
+    def _resolve_collect(self) -> None:
+        for node in self._order:
+            if node.collect is None:
+                node.collect = not node.downstream
+
+    def _ingest(self, batch: RecordBatch) -> None:
+        st = self.stats.node("source")
+        st.batches_out += 1
+        st.rows_out += batch.n_rows
+        for root in self._roots:
+            root.queue.append(batch)
+            rst = self.stats.node(root.name)
+            if len(root.queue) > rst.max_queue:
+                rst.max_queue = len(root.queue)
+
+    def run(
+        self, max_batches: int | None = None, flush: bool | None = None
+    ) -> StreamStats:
+        """Pump the stream.
+
+        Pulls up to ``max_batches`` source batches (all of them if None),
+        draining the graph downstream-first between pulls.  ``flush=None``
+        flushes operators only when the source is run to exhaustion — so
+        ``run(max_batches=k)`` leaves the graph mid-stream, ready to
+        checkpoint or keep running.
+        """
+        if not self._order:
+            raise RuntimeError("graph has no operators; call add() first")
+        self._resolve_collect()
+        pulled = 0
+        self._drain()
+        while max_batches is None or pulled < max_batches:
+            batch = self.source.next_batch()
+            if batch is None:
+                break
+            self._ingest(batch)
+            pulled += 1
+            self._drain()
+        if flush or (flush is None and self.source.exhausted):
+            self._flush()
+        self._sync_op_counters()
+        return self.stats
+
+    def _flush(self) -> None:
+        if self._flushed:
+            return
+        for node in self._order:
+            # flush parents first so children see finalized upstream state
+            self._drain()
+            outputs = node.op.flush()
+            if outputs:
+                self._emit(node, outputs)
+        self._drain()
+        self._flushed = True
+
+    def _sync_op_counters(self) -> None:
+        st = self.stats.node("source")
+        st.rows_in = self.source.rows_total
+        st.batches_in = self.source.batches_emitted
+        for node in self._order:
+            nst = self.stats.node(node.name)
+            for key, value in node.op.stat_counters().items():
+                setattr(nst, key, value)
+
+    # ---------------- results ----------------
+
+    def result(self, name: str) -> Table | None:
+        """Concatenated output of a collected node (None if it emitted
+        nothing)."""
+        batches = self.collected.get(name)
+        if not batches:
+            return None
+        if len(batches) == 1:
+            return batches[0].table
+        return concat([b.table for b in batches])
+
+    # ---------------- checkpointing ----------------
+
+    def state_dict(self) -> dict:
+        """Everything needed to resume: source cursor, per-node operator
+        state, queued/parked batches, and counters.  Collected output stays
+        with the half that produced it — resuming appends, not replays."""
+        return {
+            "source": self.source.state_dict(),
+            "nodes": {
+                node.name: {
+                    "op": node.op.state_dict(),
+                    "queue": [_freeze_batch(b) for b in node.queue],
+                    "outbox": [_freeze_batch(b) for b in node.outbox],
+                }
+                for node in self._order
+            },
+            "stats": self.stats.state_dict(),
+            "flushed": self._flushed,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` into an identically built graph."""
+        missing = [n for n in state["nodes"] if n not in self._nodes]
+        if missing:
+            raise KeyError(
+                f"checkpoint has nodes {missing} not present in this graph; "
+                "rebuild the graph with the same topology before loading"
+            )
+        self.source.load_state(state["source"])
+        for name, frozen in state["nodes"].items():
+            node = self._nodes[name]
+            node.op.load_state(frozen["op"])
+            node.queue = deque(_thaw_batch(b) for b in frozen["queue"])
+            node.outbox = deque(_thaw_batch(b) for b in frozen["outbox"])
+        self.stats.load_state(state["stats"])
+        self._flushed = state["flushed"]
+
+    def save_checkpoint(self, path) -> None:
+        """Pickle :meth:`state_dict` to ``path``."""
+        with open(path, "wb") as fh:
+            pickle.dump(self.state_dict(), fh)
+
+    def load_checkpoint(self, path) -> None:
+        """Restore from :meth:`save_checkpoint` output."""
+        with open(path, "rb") as fh:
+            self.load_state(pickle.load(fh))

@@ -1,0 +1,108 @@
+"""Per-node counters for the streaming runtime.
+
+The streaming analogue of :class:`~repro.pipeline.stats.PipelineStats`:
+every node in a :class:`~repro.stream.runtime.StreamGraph` records batch
+and row throughput, wall time, watermark-accounting outcomes (late /
+NaN-dropped rows), backpressure stalls, queue high-water marks, and the
+event-time lag of finalized output.  ``report()`` renders the same style
+of counter table the chunked pipeline prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.report import render_table
+
+
+@dataclass
+class NodeStats:
+    """Counters for one stream node (the source or an operator)."""
+
+    name: str
+    batches_in: int = 0
+    batches_out: int = 0
+    rows_in: int = 0
+    rows_out: int = 0
+    late_rows: int = 0
+    nan_rows: int = 0
+    stalls: int = 0
+    max_queue: int = 0
+    wall_s: float = 0.0
+    lag_sum_s: float = 0.0
+    lag_n: int = 0
+
+    @property
+    def mean_lag_s(self) -> float:
+        """Mean event-time lag of finalized output (arrival - window end)."""
+        return self.lag_sum_s / self.lag_n if self.lag_n else 0.0
+
+
+@dataclass
+class StreamStats:
+    """Aggregated per-node counters for one streaming run."""
+
+    nodes: dict[str, NodeStats] = field(default_factory=dict)
+
+    def node(self, name: str) -> NodeStats:
+        """The (auto-created) stats record for ``name``."""
+        st = self.nodes.get(name)
+        if st is None:
+            st = self.nodes[name] = NodeStats(name)
+        return st
+
+    # ---------------- roll-ups ----------------
+
+    @property
+    def total_late_rows(self) -> int:
+        return sum(s.late_rows for s in self.nodes.values())
+
+    @property
+    def total_stalls(self) -> int:
+        return sum(s.stalls for s in self.nodes.values())
+
+    def report(self) -> str:
+        """Rendered per-node counter table plus the accounting roll-up."""
+        rows = []
+        for st in self.nodes.values():
+            rows.append([
+                st.name,
+                st.batches_in,
+                st.rows_in,
+                st.rows_out,
+                st.late_rows,
+                st.stalls,
+                st.max_queue,
+                f"{st.mean_lag_s:.2f}" if st.lag_n else "-",
+                f"{st.wall_s:.3f}",
+            ])
+        table = render_table(
+            ["node", "batches", "rows in", "rows out", "late", "stalls",
+             "peak q", "lag s", "seconds"],
+            rows,
+            title="stream nodes",
+        )
+        line = (
+            f"watermark accounting: {self.total_late_rows} late rows dropped; "
+            f"{self.total_stalls} backpressure stalls"
+        )
+        return table + "\n" + line
+
+    # ---------------- checkpointing ----------------
+
+    def state_dict(self) -> dict:
+        return {
+            name: {
+                k: getattr(st, k)
+                for k in ("batches_in", "batches_out", "rows_in", "rows_out",
+                          "late_rows", "nan_rows", "stalls", "max_queue",
+                          "wall_s", "lag_sum_s", "lag_n")
+            }
+            for name, st in self.nodes.items()
+        }
+
+    def load_state(self, state: dict) -> None:
+        for name, counters in state.items():
+            st = self.node(name)
+            for k, v in counters.items():
+                setattr(st, k, v)

@@ -62,18 +62,27 @@ def _varint_encode(values: np.ndarray) -> bytes:
 def _varint_decode(buf: bytes, count: int) -> np.ndarray:
     if count == 0:
         if buf:
-            raise ValueError("corrupt varint stream")
+            raise ValueError(
+                "corrupt varint stream: trailing bytes after an empty series"
+            )
         return np.zeros(0, dtype=np.uint64)
+    if not buf:
+        raise ValueError(
+            f"corrupt varint stream: empty payload, header claims {count} "
+            "values"
+        )
     data = np.frombuffer(buf, dtype=np.uint8)
     out = np.zeros(count, dtype=np.uint64)
-    shift = np.zeros(count, dtype=np.uint64)
-    idx = 0
     # positions of value boundaries: a byte with high bit clear ends a value
     ends = (data & 0x80) == 0
     # assign each byte to its value index
     value_of_byte = np.concatenate([[0], np.cumsum(ends)[:-1]])
-    if value_of_byte[-1] != count - 1 or int(ends.sum()) != count:
-        raise ValueError("corrupt varint stream")
+    terminated = int(ends.sum())
+    if terminated != count or value_of_byte[-1] != count - 1:
+        raise ValueError(
+            f"corrupt varint stream: holds {terminated} terminated values, "
+            f"header claims {count}"
+        )
     # byte position within its value
     starts = np.concatenate([[0], np.flatnonzero(ends)[:-1] + 1])
     pos_in_value = np.arange(len(data)) - starts[value_of_byte]
@@ -81,7 +90,6 @@ def _varint_decode(buf: bytes, count: int) -> np.ndarray:
         np.uint64(7) * pos_in_value.astype(np.uint64)
     )
     np.add.at(out, value_of_byte, contrib)
-    del idx, shift
     return out
 
 
@@ -112,12 +120,35 @@ def encode_timeseries(values: np.ndarray, lsb: float = 1.0) -> bytes:
 
 
 def decode_timeseries(blob: bytes) -> np.ndarray:
-    """Inverse of :func:`encode_timeseries`."""
+    """Inverse of :func:`encode_timeseries`.
+
+    Truncated or corrupt blobs raise ``ValueError`` naming what broke
+    (magic, header, zlib payload, count, or varint stream) — an archive
+    reader must fail loudly rather than misdecode.
+    """
     if blob[:4] != _MAGIC:
-        raise ValueError("not a repro timeseries blob")
+        raise ValueError("not a repro timeseries blob (bad magic)")
+    if len(blob) < 20:
+        raise ValueError(
+            f"truncated header: {len(blob)} bytes, need at least 20"
+        )
     count = int(np.frombuffer(blob[4:12], dtype=np.uint64)[0])
     lsb = float(np.frombuffer(blob[12:20], dtype=np.float64)[0])
-    payload = zlib.decompress(blob[20:])
+    if not np.isfinite(lsb) or lsb == 0.0:
+        raise ValueError(f"corrupt header: lsb {lsb} is not usable")
+    try:
+        payload = zlib.decompress(blob[20:])
+    except zlib.error as exc:
+        raise ValueError(
+            f"truncated or corrupt zlib payload: {exc}"
+        ) from exc
+    # every varint takes at least one byte: cheap sanity bound that stops
+    # a corrupted count from allocating an absurd output array
+    if count > len(payload):
+        raise ValueError(
+            f"corrupt header: count {count} exceeds payload capacity "
+            f"{len(payload)}"
+        )
     z = _varint_decode(payload, count)
     deltas = _unzigzag(z)
     ints = np.cumsum(deltas)

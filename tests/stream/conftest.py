@@ -1,0 +1,43 @@
+"""Fixtures for the streaming subsystem tests.
+
+A 20-minute 1 Hz telemetry slice of the session twin, plus the batch
+reference results every equivalence test compares against.  The batch
+side runs on the telemetry sorted by timestamp because that is the row
+order a skew-free replay delivers (stable sort, ties in archive order).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.aggregate import cluster_power_series
+from repro.core.coarsen import coarsen_telemetry
+
+
+TELEMETRY_SPAN_S = 1200.0
+
+
+@pytest.fixture(scope="session")
+def telemetry(twin):
+    arrays = twin.builder.build(0.0, TELEMETRY_SPAN_S, 1.0)
+    return twin.sampler().sample(arrays)
+
+
+@pytest.fixture(scope="session")
+def batch_coarse(telemetry):
+    return coarsen_telemetry(telemetry.sort("timestamp"), ["input_power"])
+
+
+@pytest.fixture(scope="session")
+def batch_series(batch_coarse):
+    return cluster_power_series(batch_coarse)
+
+
+@pytest.fixture(scope="session")
+def edge_threshold(batch_series) -> float:
+    """A threshold low enough that the twin's 20-minute slice has edges."""
+    steps = np.abs(np.diff(batch_series["sum_inp"]))
+    thr = float(np.quantile(steps[steps > 0], 0.7))
+    assert thr > 0
+    return thr

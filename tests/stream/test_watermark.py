@@ -1,0 +1,161 @@
+"""Watermark accounting: every lost sample is explained, none silently.
+
+With path skew and a deliberately tight lateness bound, some rows arrive
+after their window finalized; the operator must count exactly those rows
+as late.  With loss events, the source must count exactly the punctured
+rows.  The invariant in all cases:
+
+    rows replayed == rows in finalized windows + late + NaN-dropped
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.frame.window import window_index
+from repro.stream import (
+    BoundedLatenessWatermark,
+    StreamGraph,
+    StreamingCoarsen,
+    TelemetryReplaySource,
+)
+from repro.telemetry.collector import LossEvent
+from repro.telemetry.ingest import (
+    AGGREGATION_MAX_S,
+    ANALYSIS_HOP_S,
+    BMC_EMIT_JITTER_S,
+    FAN_IN_BATCH_S,
+)
+
+MAX_PATH_SKEW_S = (
+    BMC_EMIT_JITTER_S + FAN_IN_BATCH_S + AGGREGATION_MAX_S + ANALYSIS_HOP_S
+)
+
+
+class TestWatermark:
+    def test_starts_at_minus_inf(self):
+        wm = BoundedLatenessWatermark(5.0)
+        assert wm.current == -math.inf
+
+    def test_advances_monotonically(self):
+        wm = BoundedLatenessWatermark(2.0)
+        assert wm.observe([10.0, 12.0]) == 10.0
+        assert wm.observe([5.0]) == 10.0  # never regresses
+        assert wm.observe([20.0]) == 18.0
+
+    def test_rejects_negative_lateness(self):
+        with pytest.raises(ValueError, match="lateness_s"):
+            BoundedLatenessWatermark(-1.0)
+
+    def test_state_roundtrip(self):
+        wm = BoundedLatenessWatermark(3.0)
+        wm.observe([42.0])
+        wm2 = BoundedLatenessWatermark(0.0)
+        wm2.load_state(wm.state_dict())
+        assert wm2.current == wm.current
+
+
+def _coarsen_graph(telemetry, lateness_s, skew=True, seed=5, loss_events=()):
+    source = TelemetryReplaySource(
+        telemetry, skew=skew, seed=seed, loss_events=loss_events
+    )
+    graph = StreamGraph(source)
+    graph.add(StreamingCoarsen(["input_power"], lateness_s=lateness_s),
+              collect=True)
+    return graph
+
+
+class TestLateAccounting:
+    def test_generous_lateness_nothing_late(self, telemetry):
+        graph = _coarsen_graph(telemetry, lateness_s=MAX_PATH_SKEW_S)
+        graph.run()
+        assert graph.stats.node("coarsen").late_rows == 0
+
+    def test_tight_lateness_drops_are_counted_exactly(self, telemetry):
+        graph = _coarsen_graph(telemetry, lateness_s=0.0)
+        graph.run()
+        op_late = graph.stats.node("coarsen").late_rows
+        assert op_late > 0, "zero lateness under ~6.5 s skew must lose rows"
+
+        # independently predict which rows are late by replaying the
+        # arrival sequence: a row is late iff its window index is below
+        # the finalization bound ratcheted by previous batches
+        src = graph.source
+        event = np.asarray(src.table["timestamp"], dtype=np.float64)
+        win = window_index(event, 10.0)
+        arrivals = src.arrival_times
+        tick = np.floor(arrivals / src.batch_interval_s).astype(np.int64)
+        predicted = 0
+        bound = None
+        max_event = -math.inf
+        start = 0
+        while start < len(event):
+            end = start
+            while end < len(event) and tick[end] == tick[start]:
+                end += 1
+            if bound is not None:
+                predicted += int((win[start:end] < bound).sum())
+            max_event = max(max_event, float(event[start:end].max()))
+            new_bound = int(np.floor(max_event / 10.0))
+            bound = new_bound if bound is None else max(bound, new_bound)
+            start = end
+        assert op_late == predicted
+
+    def test_every_row_accounted_for(self, telemetry):
+        graph = _coarsen_graph(telemetry, lateness_s=0.0)
+        graph.run()
+        st = graph.stats.node("coarsen")
+        coarse = graph.result("coarsen")
+        in_windows = int(coarse["count"].sum())
+        assert (in_windows + st.late_rows + st.nan_rows
+                == graph.source.rows_emitted)
+
+    def test_skew_free_replay_is_in_event_order(self, telemetry):
+        src = TelemetryReplaySource(telemetry, skew=False, seed=5)
+        t = src.table["timestamp"]
+        assert np.all(np.diff(np.asarray(t, dtype=np.float64)) >= 0)
+        assert np.array_equal(src.arrival_times,
+                              np.asarray(t, dtype=np.float64))
+
+
+class TestLossAccounting:
+    def test_scope_all_drops_rows(self, telemetry):
+        ev = LossEvent(t_begin=300.0, t_end=420.0, scope="all")
+        graph = _coarsen_graph(
+            telemetry, lateness_s=MAX_PATH_SKEW_S, loss_events=[ev]
+        )
+        graph.run()
+        src = graph.source
+        t = np.asarray(telemetry["timestamp"], dtype=np.float64)
+        node = telemetry["node"]
+        expected = int(ev.mask(node, t).sum())
+        assert expected > 0
+        assert src.loss_dropped == expected
+        assert src.rows_emitted == src.rows_total - expected
+        # the surviving rows still fully account
+        st = graph.stats.node("coarsen")
+        coarse = graph.result("coarsen")
+        assert (int(coarse["count"].sum()) + st.late_rows + st.nan_rows
+                == src.rows_emitted)
+
+    def test_power_blanking_lands_in_nan_accounting(self, telemetry):
+        ev = LossEvent(t_begin=600.0, t_end=660.0, scope="power")
+        graph = _coarsen_graph(
+            telemetry, lateness_s=MAX_PATH_SKEW_S, loss_events=[ev]
+        )
+        graph.run()
+        src = graph.source
+        st = graph.stats.node("coarsen")
+        assert src.loss_blanked > 0
+        assert st.nan_rows == src.loss_blanked
+        coarse = graph.result("coarsen")
+        assert (int(coarse["count"].sum()) + st.late_rows + st.nan_rows
+                == src.rows_emitted)
+
+    def test_unknown_scope_rejected(self, telemetry):
+        ev = LossEvent(t_begin=0.0, t_end=10.0, scope="voltage")
+        with pytest.raises(ValueError, match="scope"):
+            TelemetryReplaySource(telemetry, loss_events=[ev])

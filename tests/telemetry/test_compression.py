@@ -66,6 +66,57 @@ class TestCompression:
         assert compression_ratio(np.empty(0)) == 1.0
 
 
+class TestCorruptBlobs:
+    """Truncated/mangled archives must raise, never misdecode."""
+
+    @pytest.fixture()
+    def blob(self) -> bytes:
+        return encode_timeseries(np.array([10.0, 11.0, 9.0, 9.0, 30.0]))
+
+    def test_short_header(self, blob):
+        with pytest.raises(ValueError, match="truncated header"):
+            decode_timeseries(blob[:12])
+
+    def test_empty_blob(self):
+        with pytest.raises(ValueError, match="magic"):
+            decode_timeseries(b"")
+
+    def test_truncated_zlib_payload(self, blob):
+        with pytest.raises(ValueError, match="zlib"):
+            decode_timeseries(blob[:-3])
+
+    def test_garbage_zlib_payload(self, blob):
+        with pytest.raises(ValueError, match="zlib"):
+            decode_timeseries(blob[:20] + b"\x01\x02\x03\x04")
+
+    def test_count_larger_than_payload(self, blob):
+        big = np.uint64(2**48).tobytes()
+        with pytest.raises(ValueError, match="count"):
+            decode_timeseries(blob[:4] + big + blob[12:])
+
+    def test_count_mismatch_in_varint_stream(self, blob):
+        # claim one value fewer than the stream actually holds
+        wrong = np.uint64(4).tobytes()
+        with pytest.raises(ValueError, match="varint"):
+            decode_timeseries(blob[:4] + wrong + blob[12:])
+
+    def test_trailing_bytes_after_empty_series(self):
+        import zlib
+
+        empty = encode_timeseries(np.empty(0))
+        tampered = empty[:20] + zlib.compress(b"\x05")
+        with pytest.raises(ValueError, match="varint"):
+            decode_timeseries(tampered)
+
+    def test_unusable_lsb(self, blob):
+        zero = np.float64(0.0).tobytes()
+        with pytest.raises(ValueError, match="lsb"):
+            decode_timeseries(blob[:12] + zero + blob[20:])
+        inf = np.float64(np.inf).tobytes()
+        with pytest.raises(ValueError, match="lsb"):
+            decode_timeseries(blob[:12] + inf + blob[20:])
+
+
 class TestProperties:
     @given(
         hnp.arrays(
@@ -85,3 +136,37 @@ class TestProperties:
         x = np.full(n * 10, float(v))
         blob = encode_timeseries(x)
         assert np.array_equal(decode_timeseries(blob), x)
+
+    @given(
+        hnp.arrays(
+            np.int64,
+            st.integers(0, 300),
+            elements=st.integers(-(2**40), 2**40),
+        ),
+        st.sampled_from([0.5, 0.25, 2.0, 10.0, 0.125]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_non_unit_lsb(self, ints, lsb):
+        x = ints.astype(np.float64) * lsb
+        assert np.array_equal(decode_timeseries(encode_timeseries(x, lsb)), x)
+
+    @given(st.integers(1, 400))
+    @settings(max_examples=30, deadline=None)
+    def test_strictly_decreasing_series(self, n):
+        # every delta negative: exercises the zigzag sign path end to end
+        x = -np.arange(n, dtype=np.float64) * 7.0 + 3.0
+        assert np.array_equal(decode_timeseries(encode_timeseries(x)), x)
+
+    @given(
+        hnp.arrays(
+            np.int64,
+            st.integers(1, 200),
+            elements=st.integers(-(2**40), 2**40),
+        ),
+        st.integers(1, 19),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_any_header_truncation_raises(self, ints, cut):
+        blob = encode_timeseries(ints.astype(np.float64))
+        with pytest.raises(ValueError):
+            decode_timeseries(blob[:cut])

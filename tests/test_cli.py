@@ -36,6 +36,48 @@ class TestCli:
             main([])
 
 
+class TestCliStream:
+    ARGS = ["--nodes", "12", "--jobs", "40", "--days", "0.02", "--seed", "3",
+            "--minutes", "10", "--no-stats"]
+
+    def test_stream_reports_accounting(self, capsys):
+        rc = main(["stream", *self.ARGS])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "stream accounting:" in out
+        assert "0 loss-dropped" in out
+        assert "streamed cluster series:" in out
+
+    def test_skew_free_stream_has_zero_late(self, capsys):
+        rc = main(["stream", *self.ARGS, "--no-skew"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "0 late-dropped" in out
+        assert "skew-free arrival" in out
+
+    def test_stats_report_lists_nodes(self, capsys):
+        rc = main(["stream", *self.ARGS[:-1]])  # keep stats
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "stream nodes" in out
+        assert "watermark accounting:" in out
+        assert "coarsen" in out and "aggregate" in out
+
+    def test_checkpoint_pause_and_resume(self, tmp_path, capsys):
+        ckpt = str(tmp_path / "stream.ckpt")
+        rc = main(["stream", *self.ARGS, "--max-batches", "10",
+                   "--checkpoint", ckpt])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "checkpoint saved" in out
+
+        rc = main(["stream", *self.ARGS, "--checkpoint", ckpt])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "resumed from checkpoint" in out
+        assert "stream accounting:" in out
+
+
 class TestCliPipelineFlags:
     ARGS = ["--nodes", "16", "--jobs", "50", "--days", "0.25", "--seed", "3"]
 

@@ -103,6 +103,12 @@ SPECS: dict[str, list] = {
     "pipeline_scaling": [
         Exact("serial shard rows", r"serial\s+\d+\s+\d+\s+\d+"),
     ],
+    "stream_throughput": [
+        Exact("replayed rows", r"replayed rows: (\d+)"),
+        Exact("bit-identical to batch", r"streaming == batch: (\w+)"),
+        Exact("late rows skew-free", r"late rows skew-free: (\d+)"),
+        Exact("late rows skewed", r"late rows skewed: (\d+)"),
+    ],
 }
 
 

@@ -23,6 +23,7 @@ PACKAGES = [
     "repro.core",
     "repro.datasets",
     "repro.pipeline",
+    "repro.stream",
 ]
 
 
@@ -54,6 +55,40 @@ CLI integration (`python -m repro simulate|export`):
 | `--backend {serial,threads,processes}` | chunk fan-out backend |
 | `--workers N` | executor pool size (default: cores - 1, capped by `REPRO_MAX_WORKERS`) |
 | `--no-stats` | suppress the per-stage counter report |
+""",
+    "repro.stream": """\
+### Streaming engine
+
+`repro.stream` is the live counterpart of the batch analyses: a
+`TelemetryReplaySource` replays archived telemetry through the modeled
+fan-in path (per-hop delays, out-of-order arrival, loss gaps), and
+incremental operators finalize event-time windows as a bounded-lateness
+watermark passes them.  Scheduling is pull-based and downstream-first
+over bounded queues, so backpressure propagates upstream without
+dropping batches, and the whole graph (source cursor, operator state,
+queued batches, counters) checkpoints to a plain dict or pickle file.
+
+Two guarantees, both asserted by `tests/stream/`:
+
+* **bit-identity** — on skew-free, loss-free input, streamed
+  coarsen/aggregate/edge/PUE outputs equal the batch
+  `repro.core`/`repro.frame` results exactly (same kernels, same rows,
+  same order);
+* **exact accounting** — with skew or loss, every sample the stream
+  does not fold in is counted (`late`, `nan`, `loss_dropped`), and
+  `rows replayed == rows in windows + late + NaN-dropped` always holds.
+
+CLI integration (`python -m repro stream`):
+
+| flag | meaning |
+|---|---|
+| `--minutes M` | length of telemetry to replay (default 30) |
+| `--batch-interval S` | source flush interval in arrival seconds |
+| `--no-skew` | zero the fan-in delays (arrival = event time) |
+| `--lateness S` | watermark lateness bound (default 8 s) |
+| `--queue-capacity N` | bounded per-node input queue length |
+| `--max-batches N` | pause mid-stream after N source batches |
+| `--checkpoint PATH` | resume from / save a mid-stream checkpoint |
 """,
 }
 
