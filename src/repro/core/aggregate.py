@@ -14,13 +14,19 @@ from repro.frame.table import Table
 
 
 def cluster_power_series(
-    coarse: Table, value: str = "input_power", pipeline=None
+    coarse: Table, value: str = "input_power", pipeline=None,
+    presorted: bool | None = None,
 ) -> Table:
     """Dataset 1: cluster power per 10 s window.
 
     Expects Dataset 0-style columns ``{value}_mean`` / ``{value}_max`` and
     ``timestamp``; returns ``timestamp, count_inp, sum_inp, mean_inp,
     max_inp`` (the artifact appendix's column names).
+
+    ``presorted=True`` declares the rows already timestamp-ordered (the
+    streaming aggregate's buffers are built that way), collapsing through
+    the run-length kernel instead of a sort; ``None`` probes.  Output is
+    bit-identical either way.
 
     With a :class:`~repro.pipeline.runner.Pipeline` the collapse runs as
     one chunk task per time window through its executor and stats.
@@ -41,6 +47,7 @@ def cluster_power_series(
             "mean_inp": (mean_col, "mean"),
             "max_inp": (max_col, "max"),
         },
+        presorted=presorted,
     )
     return g.sort("timestamp")
 

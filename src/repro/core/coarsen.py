@@ -26,6 +26,7 @@ def coarsen_telemetry(
     time: str = "timestamp",
     drop_nan: bool = True,
     pipeline=None,
+    presorted: bool | None = None,
 ) -> Table:
     """Per-node windowed statistics of raw telemetry.
 
@@ -34,13 +35,20 @@ def coarsen_telemetry(
     pipeline simply never received those payloads).  Window ``count``
     therefore reflects the samples that actually arrived.
 
+    ``presorted=True`` declares the telemetry time-ordered within each
+    ``by`` group (the archived layout: node-major, time ascending), which
+    routes the windowed group-by through the run-length kernel — no
+    factorize, no argsort; the default ``None`` probes for that order in
+    O(n).  Either way the output is bit-identical to the generic kernel.
+
     With a :class:`~repro.pipeline.runner.Pipeline` the coarsening runs
     chunked (one task per aligned time window) through its executor and
     stats, producing a bit-identical table.
     """
     if pipeline is not None:
         return pipeline.coarsen(
-            telemetry, values, width=width, by=by, time=time, drop_nan=drop_nan
+            telemetry, values, width=width, by=by, time=time,
+            drop_nan=drop_nan, presorted=presorted,
         )
     missing = [c for c in values if c not in telemetry]
     if missing:
@@ -53,7 +61,7 @@ def coarsen_telemetry(
             if col.dtype.kind == "f":
                 ok &= np.isfinite(col)
         if not ok.all():
-            work = work.filter(ok)
+            work = work.filter(ok)  # order-preserving: sortedness survives
     return window_aggregate(
         work,
         time=time,
@@ -61,4 +69,5 @@ def coarsen_telemetry(
         values=list(values),
         stats=DEFAULT_STATS,
         by=list(by),
+        presorted=presorted,
     )

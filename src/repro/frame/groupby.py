@@ -1,9 +1,25 @@
 """Vectorized group-by aggregation.
 
-The implementation is the classic sort-based kernel: factorize keys to dense
-codes, ``argsort`` the codes once, then compute every aggregation with
-``ufunc.reduceat`` over the code-sorted columns.  No per-group Python loop is
-executed for the built-in aggregations.
+Two kernels produce bit-identical results:
+
+* **generic** — the classic sort-based kernel: factorize keys to dense
+  codes, ``argsort`` the codes once, then compute every aggregation with
+  ``ufunc.reduceat`` over the code-sorted columns.
+* **sorted path** — when the rows are already lexicographically ordered by
+  the keys (telemetry is time-ordered per node by construction), group
+  boundaries come from one run-length pass (:func:`~repro.frame.ops.run_starts`)
+  and every aggregation reduces the columns *in place*: no factorize, no
+  argsort, no per-column gather.  Because ``reduceat`` consumes the very
+  same values in the very same order as the generic kernel, the outputs are
+  bitwise equal (asserted by ``tests/frame/test_sorted_groupby.py``).
+
+``presorted=None`` (the default) probes sortedness in O(n) and picks the
+kernel automatically; ``True`` declares it (zero-cost, caller's contract);
+``False`` forces the generic kernel.  A single key column additionally
+skips factorization even when unsorted: one stable value ``argsort``
+replaces ``np.unique`` + code ``argsort``.
+
+No per-group Python loop is executed for the built-in aggregations.
 """
 
 from __future__ import annotations
@@ -12,7 +28,7 @@ from collections.abc import Mapping, Sequence
 
 import numpy as np
 
-from repro.frame.ops import multi_factorize
+from repro.frame.ops import lex_sorted, multi_factorize, run_starts
 from repro.frame.table import Table
 
 #: Supported aggregation names.
@@ -36,10 +52,102 @@ def _grouped_sum(sorted_vals: np.ndarray, starts: np.ndarray) -> np.ndarray:
     return out
 
 
+def _nan_free(arr: np.ndarray) -> bool:
+    """True when a key column is safe for the no-factorize kernels.
+
+    ``np.unique`` collapses every NaN into one group; run-length detection
+    and value argsort cannot reproduce that, so NaN-bearing float keys must
+    take the generic kernel.
+    """
+    return arr.dtype.kind != "f" or not np.isnan(arr).any()
+
+
+class _GroupPlan:
+    """Resolved grouping: boundaries, counts, key values, row order.
+
+    ``order is None`` means the rows are already in group order (the sorted
+    path) and value columns are consumed without a gather.
+    """
+
+    __slots__ = ("starts", "counts", "n_groups", "key_uniques", "order", "_codes")
+
+    def __init__(self, starts, counts, key_uniques, order):
+        self.starts = starts
+        self.counts = counts
+        self.n_groups = len(starts)
+        self.key_uniques = key_uniques
+        self.order = order
+        self._codes = None
+
+    def codes(self) -> np.ndarray:
+        """Dense group code per row (built lazily; only median/nunique and
+        the generic kernel need it)."""
+        if self._codes is None:
+            in_group_order = np.repeat(
+                np.arange(self.n_groups, dtype=np.intp), self.counts
+            )
+            if self.order is None:
+                self._codes = in_group_order
+            else:
+                codes = np.empty(len(in_group_order), dtype=np.intp)
+                codes[self.order] = in_group_order
+                self._codes = codes
+        return self._codes
+
+
+def _plan_sorted(key_arrays: list[np.ndarray]) -> _GroupPlan:
+    """Sorted path: run-length boundaries, identity row order."""
+    n = len(key_arrays[0])
+    starts = run_starts(key_arrays)
+    counts = np.diff(np.append(starts, n)).astype(np.intp, copy=False)
+    key_uniques = [a[starts] for a in key_arrays]
+    return _GroupPlan(starts, counts, key_uniques, order=None)
+
+
+def _plan_single_key(values: np.ndarray) -> _GroupPlan:
+    """Unsorted single key: one stable value argsort, no factorize.
+
+    A stable argsort of the raw values visits rows in exactly the order a
+    stable argsort of their dense codes would (codes are an order-preserving
+    relabeling), so downstream ``reduceat`` results are bit-identical to
+    the factorize-based kernel's.
+    """
+    order = np.argsort(values, kind="stable")
+    sorted_vals = values[order]
+    starts = run_starts([sorted_vals])
+    counts = np.diff(np.append(starts, len(values))).astype(np.intp, copy=False)
+    return _GroupPlan(starts, counts, [sorted_vals[starts]], order=order)
+
+
+def _plan_generic(key_arrays: list[np.ndarray]) -> _GroupPlan:
+    """The factorize + code-argsort kernel (handles NaN keys, any order)."""
+    key_uniques, codes, n_groups = multi_factorize(key_arrays)
+    order = np.argsort(codes, kind="stable")
+    counts = np.bincount(codes, minlength=n_groups).astype(np.intp, copy=False)
+    starts = np.zeros(n_groups, dtype=np.intp)
+    np.cumsum(counts[:-1], out=starts[1:])
+    plan = _GroupPlan(starts, counts, key_uniques, order=order)
+    plan._codes = codes
+    return plan
+
+
+def _resolve_plan(
+    key_arrays: list[np.ndarray], presorted: bool | None
+) -> _GroupPlan:
+    if presorted is None:
+        presorted = lex_sorted(key_arrays)
+    if presorted:
+        return _plan_sorted(key_arrays)
+    if len(key_arrays) == 1 and _nan_free(key_arrays[0]):
+        return _plan_single_key(key_arrays[0])
+    return _plan_generic(key_arrays)
+
+
 def group_by(
     table: Table,
     keys: str | Sequence[str],
     aggs: Mapping[str, tuple[str, str] | str],
+    presorted: bool | None = None,
 ) -> Table:
     """Group ``table`` by ``keys`` and compute aggregations.
 
@@ -53,6 +161,12 @@ def group_by(
         Mapping of *output column name* to either the string ``"count"`` or a
         ``(input_column, aggregation)`` pair, where aggregation is one of
         :data:`AGGREGATIONS`.
+    presorted:
+        ``True`` declares the rows already lexicographically ordered by
+        ``keys`` (keys must be NaN-free), enabling the no-sort run-length
+        kernel; ``False`` forces the generic sort-based kernel; ``None``
+        (default) probes sortedness in O(n) and chooses.  Every choice
+        produces bit-identical output.
 
     Returns
     -------
@@ -88,23 +202,21 @@ def group_by(
                 out_cols[out_name] = np.empty(0, dtype=dtype)
         return Table(out_cols)
 
-    key_uniques, codes, n_groups = multi_factorize(
-        [table[name] for name in key_names]
-    )
-    order = np.argsort(codes, kind="stable")
-    counts = np.bincount(codes, minlength=n_groups)
-    starts = np.zeros(n_groups, dtype=np.intp)
-    np.cumsum(counts[:-1], out=starts[1:])
+    plan = _resolve_plan([table[name] for name in key_names], presorted)
+    starts, counts = plan.starts, plan.counts
 
-    out_cols = {name: uniq for name, uniq in zip(key_names, key_uniques)}
+    out_cols = {
+        name: uniq for name, uniq in zip(key_names, plan.key_uniques)
+    }
 
-    # cache code-sorted value columns; several aggs often share one column
+    # cache group-ordered value columns; several aggs often share one column
     sorted_cache: dict[str, np.ndarray] = {}
 
     def sorted_col(name: str) -> np.ndarray:
         arr = sorted_cache.get(name)
         if arr is None:
-            arr = table[name][order]
+            col = table[name]
+            arr = col if plan.order is None else col[plan.order]
             sorted_cache[name] = arr
         return arr
 
@@ -141,7 +253,7 @@ def group_by(
             out_cols[out_name] = vals[starts + counts - 1]
         elif how == "median":
             # secondary sort by value within groups, then index the middles
-            order2 = np.lexsort((table[col], codes))
+            order2 = np.lexsort((table[col], plan.codes()))
             v2 = table[col][order2]
             lo = starts + (counts - 1) // 2
             hi = starts + counts // 2
@@ -149,6 +261,7 @@ def group_by(
                 v2[lo].astype(np.float64) + v2[hi].astype(np.float64)
             )
         elif how == "nunique":
+            codes = plan.codes()
             order2 = np.lexsort((table[col], codes))
             v2 = table[col][order2]
             c2 = codes[order2]
@@ -156,7 +269,7 @@ def group_by(
             new_val[0] = True
             new_val[1:] = (v2[1:] != v2[:-1]) | (c2[1:] != c2[:-1])
             out_cols[out_name] = np.bincount(
-                c2[new_val], minlength=n_groups
+                c2[new_val], minlength=plan.n_groups
             ).astype(np.int64)
         else:
             raise ValueError(

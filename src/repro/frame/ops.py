@@ -72,3 +72,51 @@ def group_boundaries(sorted_codes: np.ndarray, n_groups: int) -> np.ndarray:
     successor's offset and must be handled by the caller via counts).
     """
     return np.searchsorted(sorted_codes, np.arange(n_groups), side="left")
+
+
+def lex_sorted(arrays: Sequence[np.ndarray]) -> bool:
+    """True when rows are lexicographically non-decreasing by ``arrays``.
+
+    The O(n) sortedness probe behind the sorted-path group-by kernel: one
+    vectorized pass per key column, no sort.  Float columns containing NaN
+    report ``False`` (NaN ordering under ``np.unique`` — all NaNs collapse
+    to one group — cannot be reproduced by run-length detection, so such
+    keys must take the generic kernel).
+    """
+    if not arrays:
+        raise ValueError("lex_sorted needs at least one key array")
+    n = len(arrays[0])
+    if n <= 1:
+        return all(
+            a.dtype.kind != "f" or not np.isnan(a).any() for a in arrays
+        )
+    for a in arrays:
+        if a.dtype.kind == "f" and np.isnan(a).any():
+            return False
+    # lexicographic non-decreasing: evaluate from the least-significant key
+    # upward — rows r,r+1 are ordered iff k0 rises, or ties and the rest is
+    # ordered.
+    ok = np.ones(n - 1, dtype=bool)
+    for a in reversed([np.asarray(a) for a in arrays]):
+        ok = (a[1:] > a[:-1]) | ((a[1:] == a[:-1]) & ok)
+    return bool(ok.all())
+
+
+def run_starts(arrays: Sequence[np.ndarray]) -> np.ndarray:
+    """Start offset of every distinct-key run in row-sorted key columns.
+
+    For input already sorted by ``arrays`` (see :func:`lex_sorted`) the runs
+    *are* the groups, in exactly the order the sort-based kernel would emit
+    them — so boundaries come from one vectorized comparison pass instead of
+    a factorize + argsort.
+    """
+    if not arrays:
+        raise ValueError("run_starts needs at least one key array")
+    n = len(arrays[0])
+    if n == 0:
+        return np.empty(0, dtype=np.intp)
+    change = np.zeros(n - 1, dtype=bool)
+    for a in arrays:
+        a = np.asarray(a)
+        change |= a[1:] != a[:-1]
+    return np.flatnonzero(np.r_[True, change]).astype(np.intp, copy=False)

@@ -23,12 +23,32 @@ def window_index(
     times: np.ndarray, width: float, origin: float = 0.0
 ) -> np.ndarray:
     """Index of the window ``[origin + k*width, origin + (k+1)*width)``
-    containing each timestamp."""
+    containing each timestamp.
+
+    Timestamps exactly on a window edge are guaranteed to land in the
+    window *starting* there, consistent with :func:`window_span`'s
+    half-open arithmetic: when ``times``, ``width`` and ``origin`` are all
+    integral the index is computed with exact int64 floor division, and
+    otherwise the float division is post-corrected against the span
+    boundaries (``floor((t - origin)/width)`` alone can mis-bin an
+    edge timestamp by one ulp of rounding).
+    """
     if width <= 0:
         raise ValueError("window width must be positive")
-    return np.floor((np.asarray(times, dtype=np.float64) - origin) / width).astype(
-        np.int64
-    )
+    t = np.asarray(times, dtype=np.float64)
+    width = float(width)
+    origin = float(origin)
+    if width.is_integer() and origin.is_integer():
+        with np.errstate(invalid="ignore"):
+            ti = t.astype(np.int64)
+        if np.array_equal(ti, t):  # all integral, within int64 range
+            return (ti - int(origin)) // int(width)
+    k = np.floor((t - origin) / width).astype(np.int64)
+    # FP boundary guard: force span(k)[0] <= t < span(k)[1] in the exact
+    # arithmetic window_span uses (NaN timestamps compare False: untouched)
+    k = np.where(t < origin + k.astype(np.float64) * width, k - 1, k)
+    k = np.where(t >= origin + (k + 1).astype(np.float64) * width, k + 1, k)
+    return k
 
 
 def window_span(
@@ -36,9 +56,14 @@ def window_span(
 ) -> tuple[float, float]:
     """``(start, end)`` of window ``index`` — inverse of :func:`window_index`
     (the same arithmetic that rebuilds the ``out_time`` column, so streaming
-    finalization timestamps match batch output exactly)."""
+    finalization timestamps match batch output exactly).
+
+    ``end`` is computed as window ``index + 1``'s start — not
+    ``start + width`` — so consecutive spans tile the time axis with no
+    FP gap and the half-open invariant ``start <= t < end`` holds for
+    every timestamp :func:`window_index` bins to ``index``."""
     start = float(index) * width + origin
-    return (start, start + width)
+    return (start, float(index + 1) * width + origin)
 
 
 def window_aggregate(
@@ -51,6 +76,7 @@ def window_aggregate(
     by: Sequence[str] = (),
     origin: float = 0.0,
     out_time: str = "timestamp",
+    presorted: bool | None = None,
 ) -> Table:
     """Aggregate ``values`` over fixed windows of ``width`` seconds.
 
@@ -60,6 +86,14 @@ def window_aggregate(
 
     Empty windows simply do not appear (matching the telemetry semantics:
     BMCs only push on change, the archive stores what arrived).
+
+    ``presorted=True`` declares the rows already ordered by
+    ``(*by, window index)`` — rows time-ordered within each ``by`` group is
+    sufficient — unlocking the run-length group-by kernel (no factorize, no
+    argsort).  ``None`` (default) probes for that order in O(n); ``False``
+    forces the generic kernel.  All three produce bit-identical output.
+    With ``by=()`` key factorization is skipped entirely either way: the
+    window column alone needs at most one stable argsort.
     """
     missing = [c for c in (time, *values, *by) if c not in table]
     if missing:
@@ -75,7 +109,7 @@ def window_aggregate(
         for col in values:
             aggs[f"{col}_{stat}"] = (col, stat)
 
-    grouped = group_by(work, list(by) + ["_win"], aggs)
+    grouped = group_by(work, list(by) + ["_win"], aggs, presorted=presorted)
     times = grouped["_win"].astype(np.float64) * width + origin
     return grouped.drop(["_win"]).with_column(out_time, times)
 
@@ -88,6 +122,7 @@ def resample_stats(
     values: Sequence[str],
     by: Sequence[str] = (),
     origin: float = 0.0,
+    presorted: bool | None = None,
 ) -> Table:
     """Shorthand for :func:`window_aggregate` with the paper's five stats."""
     return window_aggregate(
@@ -98,6 +133,7 @@ def resample_stats(
         stats=DEFAULT_STATS,
         by=by,
         origin=origin,
+        presorted=presorted,
     )
 
 

@@ -16,8 +16,14 @@ This package reproduces exactly that execution model:
   distributed group-by the cluster-level collapses use.
 """
 
-from repro.parallel.executor import Executor, NotPicklableError
+from repro.parallel.executor import (
+    Executor,
+    NotPicklableError,
+    default_mp_context,
+    default_workers,
+)
 from repro.parallel.graph import TaskGraph, CycleError
+from repro.parallel.shm import SharedTableRef, attach_table, materialize, share_table
 from repro.parallel.partition import PartitionedDataset, PartitionMeta
 from repro.parallel.algorithms import (
     map_partitions,
@@ -29,6 +35,12 @@ from repro.parallel.algorithms import (
 __all__ = [
     "Executor",
     "NotPicklableError",
+    "default_mp_context",
+    "default_workers",
+    "SharedTableRef",
+    "share_table",
+    "attach_table",
+    "materialize",
     "TaskGraph",
     "CycleError",
     "PartitionedDataset",

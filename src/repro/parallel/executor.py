@@ -2,17 +2,23 @@
 
 Threads are the default: the hot kernels are numpy reductions that release
 the GIL, so thread-parallel map over partitions scales without the pickling
-cost of processes.  The process backend exists for pure-Python-heavy stages
-and requires module-level (picklable) functions.
+cost of processes.  The process backend ships :class:`~repro.frame.table.Table`
+payloads through ``multiprocessing.shared_memory`` (see :mod:`repro.parallel.shm`)
+so only a tiny descriptor crosses the pool's pipe — with that, processes win
+whenever the per-item work is Python-heavy enough to contend on the GIL.
 """
 
 from __future__ import annotations
 
+import multiprocessing
 import os
 import pickle
 from collections.abc import Callable, Iterable, Sequence
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Any
+
+from repro.frame.table import Table
+from repro.parallel import shm as _shm
 
 _BACKENDS = ("serial", "threads", "processes")
 
@@ -39,6 +45,16 @@ def default_workers() -> int:
     return workers
 
 
+def default_mp_context() -> str:
+    """Start method for process pools: ``REPRO_MP_CONTEXT`` if set, else
+    ``fork`` where available (sub-millisecond worker startup) with ``spawn``
+    as the portable fallback."""
+    env = os.environ.get("REPRO_MP_CONTEXT")
+    if env:
+        return env
+    return "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+
+
 class Executor:
     """Execute ``fn`` over items with a chosen backend.
 
@@ -48,16 +64,37 @@ class Executor:
         ``"serial"``, ``"threads"``, or ``"processes"``.
     max_workers:
         Pool size; defaults to :func:`default_workers`.
+    mp_context:
+        Start method for the process backend (``"fork"``, ``"spawn"``,
+        ``"forkserver"``); defaults to :func:`default_mp_context`.
+        Ignored by the other backends.
+    use_shm:
+        Route :class:`Table` items/results through shared memory on the
+        process backend (default on; ``REPRO_SHM=0`` disables globally).
     """
 
-    def __init__(self, backend: str = "threads", max_workers: int | None = None):
+    def __init__(
+        self,
+        backend: str = "threads",
+        max_workers: int | None = None,
+        mp_context: str | None = None,
+        use_shm: bool | None = None,
+    ):
         if backend not in _BACKENDS:
             raise ValueError(f"backend must be one of {_BACKENDS}, got {backend!r}")
         self.backend = backend
         self.max_workers = max_workers or default_workers()
+        self.mp_context = mp_context or default_mp_context()
+        if use_shm is None:
+            use_shm = os.environ.get("REPRO_SHM", "1") != "0"
+        self.use_shm = use_shm
 
     def __repr__(self) -> str:
-        return f"Executor(backend={self.backend!r}, max_workers={self.max_workers})"
+        return (
+            f"Executor(backend={self.backend!r}, max_workers={self.max_workers}"
+            + (f", mp_context={self.mp_context!r}" if self.backend == "processes" else "")
+            + ")"
+        )
 
     def map(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> list[Any]:
         """Apply ``fn`` to each item, preserving input order.
@@ -72,15 +109,32 @@ class Executor:
         if self.backend == "threads":
             with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
                 return list(pool.map(fn, items))
-        _check_picklable(fn)
-        with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
-            return list(pool.map(fn, items))
+        return self._map_processes(fn, items)
 
     def starmap(
         self, fn: Callable[..., Any], arg_tuples: Sequence[tuple]
     ) -> list[Any]:
         """Like :meth:`map` but unpacks each tuple into positional args."""
         return self.map(_StarCall(fn), list(arg_tuples))
+
+    # ---------------- process backend ----------------
+
+    def _map_processes(self, fn: Callable[[Any], Any], items: list[Any]) -> list[Any]:
+        _check_picklable(fn)
+        ctx = multiprocessing.get_context(self.mp_context)
+        owned: list = []  # segments this process created for the items
+        try:
+            if self.use_shm:
+                items = [_shm.wrap_item(it, owned) for it in items]
+                fn = _ShmCall(fn)
+            with ProcessPoolExecutor(max_workers=self.max_workers, mp_context=ctx) as pool:
+                results = list(pool.map(fn, items))
+            if self.use_shm:
+                results = [_shm.unwrap_result(r) for r in results]
+            return results
+        finally:
+            for seg in owned:
+                _shm.release(seg)
 
 
 def _check_picklable(fn: Callable[[Any], Any]) -> None:
@@ -111,3 +165,45 @@ class _StarCall:
 
     def __call__(self, args: tuple) -> Any:
         return self.fn(*args)
+
+
+class _ShmCall:
+    """Worker-side adapter: attach shm-shipped Tables, run ``fn``, ship any
+    large Table result back through a fresh segment.
+
+    A small (pickled) result may alias the mapped input segment — fn can
+    return the input or a slice of it — so it is deep-copied before the
+    input handles close; otherwise closing would either fault the result or
+    raise ``BufferError`` on the exported views.
+    """
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn: Callable[[Any], Any]):
+        self.fn = fn
+
+    def __call__(self, item: Any) -> Any:
+        val, handles = _shm.unwrap_item(item)
+        try:
+            result = self.fn(val)
+            result = _shm.wrap_result(result)
+            result = _own_tables(result)
+            return result
+        finally:
+            del val
+            for h in handles:
+                try:
+                    h.close()
+                except BufferError:
+                    # a view escaped into a long-lived cache inside fn;
+                    # the mapping dies with this worker process anyway
+                    pass
+
+
+def _own_tables(obj: Any) -> Any:
+    """Deep-copy any Table in ``obj`` so it owns its buffers."""
+    if isinstance(obj, Table):
+        return obj.copy()
+    if isinstance(obj, tuple):
+        return tuple(_own_tables(el) for el in obj)
+    return obj

@@ -1,0 +1,231 @@
+"""Zero-copy :class:`~repro.frame.table.Table` transport for process pools.
+
+The process backend's classic failure mode is pickling whole tables through
+the pool's pipe: a numpy-heavy shard pays serialize + pipe-write + pipe-read
++ deserialize per task.  This module instead places all of a table's columns
+into **one** ``multiprocessing.shared_memory`` segment and ships only a tiny
+picklable descriptor (segment name + per-column dtype/shape/offset).  The
+worker maps the segment and reconstructs the columns as zero-copy views; the
+payload bytes never cross the pipe.
+
+Lifetime is deterministic and parent-owned:
+
+* the parent creates segments, hands out :class:`SharedTableRef` descriptors,
+  and unlinks every segment in a ``finally`` as soon as the map completes —
+  a crashed worker can not leak segments past the parent call;
+* workers attach with resource-tracker registration suppressed (Python 3.11
+  has no ``track=False``; attaching re-registers the segment, and under a
+  forked pool the tracker is *shared*, so a worker-side unregister would
+  delete the parent's own registration — the parent's later unlink then
+  trips a tracker KeyError), drop their views, and close;
+* result tables travel the same way when large enough to matter
+  (:data:`SHM_MIN_BYTES`): the worker materializes them into a fresh segment
+  that the parent copies out of and unlinks immediately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+from repro.frame.table import Table
+
+__all__ = [
+    "SHM_MIN_BYTES",
+    "SharedTableRef",
+    "share_table",
+    "attach_table",
+    "materialize",
+    "wrap_item",
+    "unwrap_item",
+    "wrap_result",
+    "unwrap_result",
+]
+
+#: tables smaller than this are pickled directly: a shared-memory segment
+#: costs a file descriptor, an mmap, and tracker round-trips — below ~64 KiB
+#: the pipe is simply faster
+SHM_MIN_BYTES = 1 << 16
+
+
+@dataclass(frozen=True)
+class _ColumnMeta:
+    """Reconstruction recipe for one column inside the segment."""
+
+    name: str
+    dtype: str
+    shape: tuple[int, ...]
+    offset: int
+
+
+@dataclass(frozen=True)
+class SharedTableRef:
+    """Picklable descriptor of a table whose payload lives in shared memory.
+
+    The descriptor is a few hundred bytes no matter how large the table is;
+    ``attach_table`` rebuilds the columns as views over the mapped segment.
+    """
+
+    segment: str
+    columns: tuple[_ColumnMeta, ...]
+    n_rows: int
+
+    @property
+    def nbytes(self) -> int:
+        return sum(
+            int(np.dtype(c.dtype).itemsize) * int(np.prod(c.shape, dtype=np.int64))
+            for c in self.columns
+        )
+
+
+def share_table(table: Table) -> tuple[shared_memory.SharedMemory, SharedTableRef]:
+    """Copy ``table``'s columns into one fresh shared-memory segment.
+
+    Returns the owning handle (caller must ``close()`` + ``unlink()`` it —
+    see :func:`release`) and the picklable descriptor to ship to workers.
+    """
+    total = sum(int(table[c].nbytes) for c in table.columns)
+    shm = shared_memory.SharedMemory(create=True, size=max(total, 1))
+    metas: list[_ColumnMeta] = []
+    offset = 0
+    for name in table.columns:
+        col = np.ascontiguousarray(table[name])
+        dst = np.ndarray(col.shape, dtype=col.dtype, buffer=shm.buf, offset=offset)
+        dst[...] = col
+        metas.append(_ColumnMeta(name, col.dtype.str, col.shape, offset))
+        offset += int(col.nbytes)
+        del dst
+    return shm, SharedTableRef(shm.name, tuple(metas), table.n_rows)
+
+
+def attach_table(
+    ref: SharedTableRef, track: bool = False
+) -> tuple[Table, shared_memory.SharedMemory]:
+    """Map a descriptor back into a zero-copy :class:`Table` of views.
+
+    The returned handle must be closed after every view into it is dropped.
+    ``track=False`` (worker side) suppresses the attach-time resource-tracker
+    registration so the tracker's books stay balanced whether the pool forked
+    (tracker shared with the parent) or spawned (tracker per process); the
+    lifetime-owning side passes ``track=True`` so its eventual ``unlink`` has
+    a registration to retire.
+    """
+    if track:
+        shm = shared_memory.SharedMemory(name=ref.segment)
+    else:
+        # 3.11 SharedMemory has no track= parameter: registration happens
+        # unconditionally inside __init__, so blank it for the call
+        real = resource_tracker.register
+        resource_tracker.register = lambda *a, **k: None
+        try:
+            shm = shared_memory.SharedMemory(name=ref.segment)
+        finally:
+            resource_tracker.register = real
+    cols = {
+        m.name: np.ndarray(m.shape, dtype=np.dtype(m.dtype), buffer=shm.buf,
+                           offset=m.offset)
+        for m in ref.columns
+    }
+    return Table(cols), shm
+
+
+def materialize(ref: SharedTableRef, unlink: bool = True) -> Table:
+    """Copy a shared table out of its segment into fresh process-local
+    arrays, then close (and by default unlink) the segment.
+
+    Registers the attachment (``track=True``): this call takes over the
+    segment's lifetime, and its unlink retires that registration.
+    """
+    shared, shm = attach_table(ref, track=unlink)
+    try:
+        out = shared.copy()
+    finally:
+        del shared
+        shm.close()
+        if unlink:
+            try:
+                shm.unlink()
+            except FileNotFoundError:
+                pass
+    return out
+
+
+def release(shm: shared_memory.SharedMemory) -> None:
+    """Close + unlink an owned segment, tolerating double release."""
+    shm.close()
+    try:
+        shm.unlink()
+    except FileNotFoundError:
+        pass
+
+
+# ---------------- item/result (de)mangling for the executor ----------------
+#
+# Executor items may be bare Tables or tuples containing Tables (starmap).
+# wrap/unwrap handle both shapes so the executor stays shape-agnostic.
+
+
+def wrap_item(item, owned: list) -> object:
+    """Replace large Tables inside ``item`` with shm descriptors.
+
+    Created segments are appended to ``owned`` for the caller's ``finally``.
+    """
+    if isinstance(item, Table) and item.nbytes() >= SHM_MIN_BYTES:
+        shm, ref = share_table(item)
+        owned.append(shm)
+        return ref
+    if isinstance(item, tuple):
+        return tuple(wrap_item(el, owned) for el in item)
+    return item
+
+
+def unwrap_item(item) -> object:
+    """Worker-side inverse of :func:`wrap_item` (views, zero copies).
+
+    Returns ``(value, handles)`` where ``handles`` are the mapped segments
+    to close once the task's views are dead.
+    """
+    if isinstance(item, SharedTableRef):
+        table, handle = attach_table(item, track=False)
+        return table, [handle]
+    if isinstance(item, tuple):
+        vals, handles = [], []
+        for el in item:
+            v, h = unwrap_item(el)
+            vals.append(v)
+            handles.extend(h)
+        return tuple(vals), handles
+    return item, []
+
+
+def wrap_result(result) -> object:
+    """Worker-side: move a large result Table into shared memory.
+
+    The worker owns nothing afterwards — the parent copies the payload out
+    and unlinks (``materialize``).  Small results pickle straight through.
+    """
+    if isinstance(result, Table) and result.nbytes() >= SHM_MIN_BYTES:
+        shm, ref = share_table(result)
+        try:
+            # lifetime transfers to the parent (materialize re-registers
+            # there before unlinking); retire this side's create-time
+            # registration so no tracker tries to clean it up twice
+            resource_tracker.unregister(shm._name, "shared_memory")
+        except Exception:
+            pass
+        shm.close()
+        return ref
+    if isinstance(result, tuple):
+        return tuple(wrap_result(el) for el in result)
+    return result
+
+
+def unwrap_result(result) -> object:
+    """Parent-side inverse of :func:`wrap_result`: copy out + unlink."""
+    if isinstance(result, SharedTableRef):
+        return materialize(result, unlink=True)
+    if isinstance(result, tuple):
+        return tuple(unwrap_result(el) for el in result)
+    return result

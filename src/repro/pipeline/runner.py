@@ -40,14 +40,19 @@ class PipelineConfig:
 
     ``chunk_seconds`` is the shard width (default one day, matching the
     paper's one-parquet-file-per-day layout); ``backend`` / ``max_workers``
-    select the :class:`~repro.parallel.executor.Executor`; ``cache_dir``
-    enables the on-disk artifact cache.
+    / ``mp_context`` select the :class:`~repro.parallel.executor.Executor`;
+    ``cache_dir`` enables the on-disk artifact cache.  ``fuse`` makes
+    :meth:`Pipeline.telemetry_series` run read -> coarsen -> aggregate as
+    **one** task per time shard, so the coarsened intermediate never crosses
+    the executor boundary or the artifact cache (bit-identical either way).
     """
 
     chunk_seconds: float = 86_400.0
     backend: str = "threads"
     max_workers: int | None = None
+    mp_context: str | None = None
     cache_dir: str | os.PathLike | None = None
+    fuse: bool = True
 
     def __post_init__(self):
         if self.chunk_seconds <= 0:
@@ -143,21 +148,22 @@ class _JobChunk:
 class _CoarsenChunk:
     """10 s-coarsen one telemetry sub-table."""
 
-    __slots__ = ("values", "width", "by", "time", "drop_nan")
+    __slots__ = ("values", "width", "by", "time", "drop_nan", "presorted")
 
-    def __init__(self, values, width, by, time, drop_nan):
+    def __init__(self, values, width, by, time, drop_nan, presorted=None):
         self.values = list(values)
         self.width = width
         self.by = list(by)
         self.time = time
         self.drop_nan = drop_nan
+        self.presorted = presorted
 
     def __call__(self, sub: Table) -> Table:
         from repro.core.coarsen import coarsen_telemetry
 
         return coarsen_telemetry(
             sub, self.values, width=self.width, by=self.by,
-            time=self.time, drop_nan=self.drop_nan,
+            time=self.time, drop_nan=self.drop_nan, presorted=self.presorted,
         )
 
 
@@ -173,6 +179,38 @@ class _AggregateChunk:
         from repro.core.aggregate import cluster_power_series
 
         return cluster_power_series(sub, value=self.value)
+
+
+class _FusedChunk:
+    """Read -> coarsen -> aggregate one time shard in a single task.
+
+    The coarsened intermediate lives and dies inside the worker: nothing but
+    the final (tiny) cluster-series slice crosses the executor boundary.
+    Each sub-step is timed in the worker so the parent can keep per-stage
+    accounting (``fused/read``, ``fused/coarsen``, ``fused/aggregate``).
+    """
+
+    __slots__ = ("coarsen", "value", "dataset")
+
+    def __init__(self, coarsen: _CoarsenChunk, value: str, dataset=None):
+        self.coarsen = coarsen
+        self.value = value
+        self.dataset = dataset
+
+    def __call__(self, item) -> tuple[Table, tuple, int]:
+        from repro.core.aggregate import cluster_power_series
+
+        t0 = _time.perf_counter()
+        if self.dataset is not None:
+            sub = self.dataset.read(item)  # item is a shard index
+        else:
+            sub = item
+        t1 = _time.perf_counter()
+        coarse = self.coarsen(sub)
+        t2 = _time.perf_counter()
+        series = cluster_power_series(coarse, value=self.value)
+        t3 = _time.perf_counter()
+        return series, (t1 - t0, t2 - t1, t3 - t2), coarse.n_rows
 
 
 class Pipeline:
@@ -198,7 +236,9 @@ class Pipeline:
 
         self.config = config or PipelineConfig()
         self.executor = Executor(
-            backend=self.config.backend, max_workers=self.config.max_workers
+            backend=self.config.backend,
+            max_workers=self.config.max_workers,
+            mp_context=self.config.mp_context,
         )
         self.cache = (
             ArtifactCache(self.config.cache_dir)
@@ -370,15 +410,18 @@ class Pipeline:
         by: Sequence[str] = ("node",),
         time: str = "timestamp",
         drop_nan: bool = True,
+        presorted: bool | None = None,
         cache_token: str | None = None,
     ) -> Table:
         """Chunked 10 s coarsening (Dataset A -> Dataset 0).
 
         Chunk edges are aligned to multiples of ``width`` so every coarsen
         window falls wholly inside one chunk; the concatenated result is
-        re-sorted to the single-pass ``group_by`` order.  Caching requires a
-        ``cache_token`` naming the telemetry's provenance (raw table content
-        is never hashed).
+        re-sorted to the single-pass ``group_by`` order.  ``presorted``
+        forwards to the windowed group-by kernel (chunking by time window
+        preserves per-group time order, so a sorted input keeps its fast
+        path in every chunk).  Caching requires a ``cache_token`` naming the
+        telemetry's provenance (raw table content is never hashed).
         """
         from repro.config import SUMMIT
 
@@ -401,13 +444,13 @@ class Pipeline:
         tables = self._run_stage(
             "coarsen",
             items,
-            lambda: _CoarsenChunk(values, width, by, time, drop_nan),
+            lambda: _CoarsenChunk(values, width, by, time, drop_nan, presorted),
             keys,
             rows_in=telemetry.n_rows,
         )
         tables = [x for x in tables if x.n_rows]
         if not tables:
-            return _CoarsenChunk(values, width, by, time, drop_nan)(telemetry)
+            return _CoarsenChunk(values, width, by, time, drop_nan, presorted)(telemetry)
         return concat(tables).sort(list(by) + ["timestamp"])
 
     def cluster_series(
@@ -440,6 +483,145 @@ class Pipeline:
         tables = [x for x in tables if x.n_rows]
         if not tables:
             return _AggregateChunk(value)(coarse)
+        return concat(tables).sort("timestamp")
+
+    def telemetry_series(
+        self,
+        telemetry,
+        values: Sequence[str] = ("input_power",),
+        value: str = "input_power",
+        width: float | None = None,
+        by: Sequence[str] = ("node",),
+        time: str = "timestamp",
+        drop_nan: bool = True,
+        presorted: bool | None = None,
+        cache_token: str | None = None,
+    ) -> Table:
+        """Telemetry -> cluster power series (Dataset A -> Dataset 1).
+
+        With ``config.fuse`` (the default) each time shard runs read ->
+        coarsen -> aggregate as **one** executor task (:class:`_FusedChunk`):
+        the per-node coarsened intermediate — typically 10x the size of the
+        final series — never crosses the executor boundary and is never
+        written to the artifact cache; only the final per-shard series slice
+        is cached (stage ``fused``).  With ``fuse=False`` this is exactly
+        :meth:`coarsen` followed by :meth:`cluster_series`.  Both routes are
+        bit-identical to the single-pass
+        :func:`~repro.core.aggregate.cluster_power_series` of
+        :func:`~repro.core.coarsen.coarsen_telemetry`.
+
+        ``telemetry`` is a :class:`~repro.frame.table.Table` or a
+        :class:`~repro.parallel.partition.PartitionedDataset` whose shard
+        edges are aligned to ``width`` multiples (the writer's layout);
+        dataset shards are read *inside* the worker, so the fan-out payload
+        is one integer per task.
+        """
+        from repro.config import SUMMIT
+        from repro.parallel.partition import PartitionedDataset
+
+        width = SUMMIT.coarsen_window_s if width is None else width
+        is_dataset = isinstance(telemetry, PartitionedDataset)
+
+        if not self.config.fuse:
+            table = telemetry.to_table() if is_dataset else telemetry
+            coarse = self.coarsen(
+                table, values, width=width, by=by, time=time,
+                drop_nan=drop_nan, presorted=presorted,
+                cache_token=cache_token,
+            )
+            return self.cluster_series(coarse, value=value, cache_token=cache_token)
+
+        task = _FusedChunk(
+            _CoarsenChunk(values, width, by, time, drop_nan, presorted),
+            value,
+            dataset=telemetry if is_dataset else None,
+        )
+        if is_dataset:
+            items: list = list(range(telemetry.n_partitions))
+            chunk_ids = items
+            rows_in = telemetry.n_rows
+        else:
+            eff_chunk = max(
+                width, np.floor(self.config.chunk_seconds / width) * width
+            )
+            t = np.asarray(telemetry[time], dtype=np.float64)
+            win = np.floor(t / eff_chunk).astype(np.int64)
+            uniq = np.unique(win)
+            items = [telemetry.filter(win == k) for k in uniq]
+            chunk_ids = [int(k) for k in uniq]
+            rows_in = telemetry.n_rows
+
+        keys = None
+        if self.cache is not None and cache_token is not None:
+            keys = [
+                cache_key(
+                    cache_token, stage="fused", values=list(values),
+                    width=width, by=list(by), time=time, drop_nan=drop_nan,
+                    value=value, window=k,
+                )
+                for k in chunk_ids
+            ]
+
+        results: list[Table | None] = [None] * len(items)
+        hits = 0
+        t0 = _time.perf_counter()
+        if keys is not None:
+            for idx, key in enumerate(keys):
+                got = self.cache.get(key)
+                if got is not None:
+                    results[idx] = got
+                    hits += 1
+        lookup_s = _time.perf_counter() - t0
+
+        miss_idx = [i for i, r in enumerate(results) if r is None]
+        wall = lookup_s
+        bytes_out = 0
+        sub_wall = [0.0, 0.0, 0.0]  # read, coarsen, aggregate
+        coarse_rows = 0
+        if miss_idx:
+            outs = self.executor.map(task, [items[i] for i in miss_idx])
+            for i, (series, timings, n_coarse) in zip(miss_idx, outs):
+                results[i] = series
+                wall += sum(timings)
+                for j in range(3):
+                    sub_wall[j] += timings[j]
+                coarse_rows += n_coarse
+                if keys is not None:
+                    bytes_out += self.cache.put(keys[i], series)
+
+        tables: list[Table] = results  # type: ignore[assignment]
+        self.stats.record(
+            "fused",
+            wall_s=wall,
+            calls=len(miss_idx),
+            rows_in=rows_in,
+            rows_out=sum(x.n_rows for x in tables),
+            bytes_out=bytes_out,
+            cache_hits=hits,
+            cache_misses=len(miss_idx) if keys is not None else 0,
+        )
+        if miss_idx:
+            # nested per-substage accounting (indented in the report)
+            if is_dataset:
+                self.stats.record(
+                    "fused/read", wall_s=sub_wall[0], calls=len(miss_idx),
+                    rows_out=rows_in,
+                )
+            self.stats.record(
+                "fused/coarsen", wall_s=sub_wall[1], calls=len(miss_idx),
+                rows_in=rows_in, rows_out=coarse_rows,
+            )
+            self.stats.record(
+                "fused/aggregate", wall_s=sub_wall[2], calls=len(miss_idx),
+                rows_in=coarse_rows,
+                rows_out=sum(x.n_rows for x in tables),
+            )
+
+        tables = [x for x in tables if x.n_rows]
+        if not tables:
+            table = telemetry.to_table() if is_dataset else telemetry
+            series, _, _ = _FusedChunk(task.coarsen, value)(table)
+            return series
         return concat(tables).sort("timestamp")
 
     # ---------------- live streaming route ----------------

@@ -179,6 +179,11 @@ class StreamingCoarsen(Operator):
             return []
         parts = [p for k in closing for p in self._buffers.pop(k)]
         sub = parts[0] if len(parts) == 1 else concat(parts)
+        # buffered parts are concatenated in ascending-window order but the
+        # replay arrives time-major across nodes, so (by, window) order is
+        # not guaranteed — presorted=None probes per finalize and takes the
+        # run-length kernel whenever the batch really is ordered (by=(),
+        # single-node replays, node-major batches)
         out = window_aggregate(
             sub,
             time=self.time,
@@ -187,6 +192,7 @@ class StreamingCoarsen(Operator):
             stats=DEFAULT_STATS,
             by=self.by,
             origin=self.origin,
+            presorted=None,
         )
         self.windows_finalized += len(closing)
         if count_lag:
@@ -304,7 +310,10 @@ class StreamingClusterAggregate(Operator):
             return []
         parts = [p for t in closing for p in self._buffers.pop(t)]
         sub = parts[0] if len(parts) == 1 else concat(parts)
-        out = cluster_power_series(sub, value=self.value)
+        # per-timestamp buffers are drained in ascending order, so the
+        # concatenated rows are timestamp-sorted by construction: declare it
+        # and collapse through the run-length kernel (no sort at all)
+        out = cluster_power_series(sub, value=self.value, presorted=True)
         self.windows_finalized += len(closing)
         if count_lag:
             for t in closing:

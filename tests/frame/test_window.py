@@ -2,9 +2,10 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.frame import Table, window_aggregate, resample_stats
-from repro.frame.window import recoarsen, window_index
+from repro.frame.window import recoarsen, window_index, window_span
 
 
 class TestWindowIndex:
@@ -19,6 +20,56 @@ class TestWindowIndex:
     def test_negative_width(self):
         with pytest.raises(ValueError):
             window_index(np.array([0.0]), 0.0)
+
+
+class TestWindowIndexBoundaries:
+    """The half-open invariant ``span(k)[0] <= t < span(k)[1]`` must hold in
+    window_span's own arithmetic even where ``floor((t-origin)/width)``
+    rounds across an edge — the integer route and the FP guard both."""
+
+    @given(
+        st.integers(min_value=-10**9, max_value=10**9),
+        st.integers(min_value=1, max_value=10**6),
+        st.integers(min_value=-10**6, max_value=10**6),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_integral_inputs_exact(self, t, width, origin):
+        k = int(window_index(np.array([float(t)]), float(width), float(origin))[0])
+        lo, hi = window_span(k, float(width), float(origin))
+        assert lo <= t < hi
+        # edge timestamps land in the window *starting* there
+        if t == lo:
+            assert window_index(np.array([lo]), float(width), float(origin))[0] == k
+
+    @given(
+        st.floats(min_value=-1e12, max_value=1e12, allow_nan=False),
+        st.floats(min_value=1e-3, max_value=1e6, allow_nan=False),
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_float_inputs_within_span(self, t, width, origin):
+        k = int(window_index(np.array([t]), width, origin)[0])
+        lo, hi = window_span(k, width, origin)
+        assert lo <= t < hi
+
+    @given(st.integers(min_value=-10**6, max_value=10**6))
+    @settings(max_examples=200, deadline=None)
+    def test_exact_edges_fractional_width(self, k):
+        """A timestamp manufactured exactly on edge k*width+origin must get
+        index k even for widths with no exact binary representation."""
+        width, origin = 0.1, 0.3
+        lo = float(k) * width + origin  # window_span's arithmetic
+        idx = int(window_index(np.array([lo]), width, origin)[0])
+        assert idx == k
+
+    def test_mixed_edge_array(self):
+        width = 10.0
+        t = np.array([-10.0, -0.0, 0.0, 10.0, 10.0 - 2**-40, 1e15 + 10.0])
+        idx = window_index(t, width)
+        lo = np.array([window_span(int(k), width)[0] for k in idx])
+        hi = np.array([window_span(int(k), width)[1] for k in idx])
+        assert np.all(lo <= t)
+        assert np.all(t < hi)
 
 
 class TestWindowAggregate:

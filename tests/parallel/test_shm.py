@@ -1,0 +1,171 @@
+"""Shared-memory Table transport: fidelity, cleanup, executor integration."""
+
+import glob
+
+import numpy as np
+
+from repro.frame.table import Table
+from repro.parallel import Executor
+from repro.parallel.shm import (
+    SHM_MIN_BYTES,
+    SharedTableRef,
+    attach_table,
+    materialize,
+    release,
+    share_table,
+    unwrap_item,
+    wrap_item,
+    wrap_result,
+    unwrap_result,
+)
+
+
+def big_table(seed: int = 0, n: int = 20_000) -> Table:
+    rng = np.random.default_rng(seed)
+    return Table(
+        {
+            "node": np.repeat(np.arange(n // 100), 100).astype(np.int64),
+            "timestamp": np.arange(n, dtype=np.float64),
+            "power": rng.normal(2000.0, 100.0, n),
+            "flag": rng.random(n) < 0.5,
+            "name": np.array([f"n{i % 7}" for i in range(n)]),
+        }
+    )
+
+
+def segment_names() -> set:
+    return set(glob.glob("/dev/shm/psm_*"))
+
+
+def double_power(t: Table) -> Table:
+    return t.with_column("power", t["power"] * 2.0)
+
+
+def scale_power(t: Table, factor: float) -> Table:
+    return t.with_column("power", t["power"] * factor)
+
+
+def return_input(t: Table) -> Table:
+    # pathological: result aliases the mapped input segment
+    return t
+
+
+def head_rows(t: Table) -> Table:
+    # small result: travels back as a plain pickle, but must not alias
+    # the segment the worker is about to close
+    return t[:4]
+
+
+class TestRoundTrip:
+    def test_share_attach_materialize(self):
+        t = big_table()
+        before = segment_names()
+        shm, ref = share_table(t)
+        try:
+            assert isinstance(ref, SharedTableRef)
+            assert ref.n_rows == t.n_rows
+            assert ref.nbytes == t.nbytes()
+            view, handle = attach_table(ref)
+            for c in t.columns:
+                assert view[c].dtype == t[c].dtype
+                assert np.array_equal(view[c], t[c])
+            del view
+            handle.close()
+            out = materialize(ref, unlink=False)
+        finally:
+            release(shm)
+        for c in t.columns:
+            assert np.array_equal(out[c], t[c])
+        assert segment_names() == before
+
+    def test_small_tables_bypass_shm(self):
+        t = Table({"x": np.arange(4)})
+        assert t.nbytes() < SHM_MIN_BYTES
+        owned: list = []
+        assert wrap_item(t, owned) is t
+        assert owned == []
+        assert wrap_result(t) is t
+
+    def test_wrap_unwrap_tuple(self):
+        t = big_table()
+        owned: list = []
+        try:
+            wrapped = wrap_item((t, 3.5), owned)
+            assert isinstance(wrapped[0], SharedTableRef)
+            assert wrapped[1] == 3.5
+            (val, scalar), handles = unwrap_item(wrapped)
+            assert scalar == 3.5
+            assert np.array_equal(val["power"], t["power"])
+            del val
+            for h in handles:
+                h.close()
+        finally:
+            for seg in owned:
+                release(seg)
+
+    def test_result_round_trip(self):
+        t = big_table()
+        shipped = wrap_result(t)
+        assert isinstance(shipped, SharedTableRef)
+        out = unwrap_result(shipped)
+        for c in t.columns:
+            assert np.array_equal(out[c], t[c])
+
+
+class TestExecutorIntegration:
+    def test_processes_match_serial(self):
+        items = [big_table(seed) for seed in range(4)]
+        before = segment_names()
+        serial = Executor(backend="serial").map(double_power, items)
+        proc = Executor(backend="processes", max_workers=2).map(
+            double_power, items
+        )
+        for a, b in zip(serial, proc):
+            assert a.columns == b.columns
+            for c in a.columns:
+                assert a[c].dtype == b[c].dtype
+                assert np.array_equal(a[c], b[c])
+        assert segment_names() == before, "leaked shared-memory segments"
+
+    def test_starmap_with_tables(self):
+        items = [(big_table(s), float(s + 1)) for s in range(3)]
+        serial = Executor(backend="serial").starmap(scale_power, items)
+        proc = Executor(backend="processes", max_workers=2).starmap(
+            scale_power, items
+        )
+        for a, b in zip(serial, proc):
+            assert np.array_equal(a["power"], b["power"])
+
+    def test_identity_result_survives_segment_close(self):
+        items = [big_table(s) for s in range(2)]
+        before = segment_names()
+        out = Executor(backend="processes", max_workers=2).map(
+            return_input, items
+        )
+        for a, b in zip(items, out):
+            for c in a.columns:
+                assert np.array_equal(a[c], b[c])
+        assert segment_names() == before
+
+    def test_small_result_detached_from_segment(self):
+        items = [big_table(s) for s in range(2)]
+        out = Executor(backend="processes", max_workers=2).map(head_rows, items)
+        for a, b in zip(items, out):
+            assert b.n_rows == 4
+            assert np.array_equal(b["power"], a["power"][:4])
+
+    def test_shm_disabled_still_correct(self):
+        items = [big_table(s) for s in range(2)]
+        ex = Executor(backend="processes", max_workers=2, use_shm=False)
+        serial = Executor(backend="serial").map(double_power, items)
+        for a, b in zip(serial, ex.map(double_power, items)):
+            assert np.array_equal(a["power"], b["power"])
+
+    def test_spawn_context(self):
+        items = [big_table(s) for s in range(2)]
+        before = segment_names()
+        ex = Executor(backend="processes", max_workers=2, mp_context="spawn")
+        out = ex.map(double_power, items)
+        for a, b in zip(items, out):
+            assert np.array_equal(b["power"], a["power"] * 2.0)
+        assert segment_names() == before

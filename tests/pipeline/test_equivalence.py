@@ -133,6 +133,93 @@ class TestCoarsenAggregateEquivalence:
         got = cluster_power_series(coarse, pipeline=pipe)
         assert_tables_equal(got, ref)
 
+    @pytest.mark.parametrize("presorted", [None, True, False])
+    def test_coarsen_presorted_routes(self, twin_small, telemetry, presorted):
+        # every kernel route through the chunked path stays bit-identical
+        ref = coarsen_telemetry(telemetry, ["input_power"], width=10.0)
+        pipe = Pipeline(twin_small, PipelineConfig(chunk_seconds=900.0,
+                                                   backend="serial"))
+        sorted_tel = telemetry.sort(["node", "timestamp"])
+        got = pipe.coarsen(sorted_tel, ["input_power"], width=10.0,
+                           presorted=presorted)
+        assert_tables_equal(got, ref)
+
+
+class TestFusedEquivalence:
+    """telemetry_series: fused one-task-per-shard == unfused == single-pass."""
+
+    @pytest.fixture(scope="class")
+    def single_pass(self, telemetry):
+        return cluster_power_series(
+            coarsen_telemetry(telemetry, ["input_power"], width=10.0)
+        )
+
+    @pytest.mark.parametrize("chunk_s", [300.0, 1000.0, 3600.0, DAY])
+    def test_fused_chunk_sizes(self, twin_small, telemetry, single_pass,
+                               chunk_s):
+        pipe = Pipeline(twin_small, PipelineConfig(
+            chunk_seconds=chunk_s, backend="serial", fuse=True))
+        got = pipe.telemetry_series(telemetry, ["input_power"])
+        assert_tables_equal(got, single_pass)
+
+    def test_fused_matches_unfused(self, twin_small, telemetry):
+        fused = Pipeline(twin_small, PipelineConfig(
+            chunk_seconds=900.0, backend="serial", fuse=True))
+        unfused = Pipeline(twin_small, PipelineConfig(
+            chunk_seconds=900.0, backend="serial", fuse=False))
+        a = fused.telemetry_series(telemetry, ["input_power"])
+        b = unfused.telemetry_series(telemetry, ["input_power"])
+        assert_tables_equal(a, b)
+        # the fused run must never have materialized the unfused stage names
+        assert "coarsen" not in fused.stats.stages
+        assert fused.stats.stage("fused").calls > 1
+        assert fused.stats.stage("fused/coarsen").wall_s >= 0.0
+        assert unfused.stats.stage("coarsen").calls > 1
+
+    @pytest.mark.parametrize("backend", ["threads", "processes"])
+    def test_fused_backends(self, twin_small, telemetry, single_pass, backend):
+        pipe = Pipeline(twin_small, PipelineConfig(
+            chunk_seconds=900.0, backend=backend, max_workers=2, fuse=True))
+        got = pipe.telemetry_series(telemetry, ["input_power"])
+        assert_tables_equal(got, single_pass)
+
+    def test_fused_dataset_source(self, twin_small, telemetry, single_pass,
+                                  tmp_path):
+        from repro.parallel.partition import PartitionedDataset
+
+        ds = PartitionedDataset.create(tmp_path / "tel", "telemetry")
+        t = telemetry["timestamp"]
+        # last shard catches the 0-5 s collector-delay spillover past 3600
+        for lo in np.arange(0.0, float(t.max()) + 1.0, 900.0):
+            sub = telemetry.filter((t >= lo) & (t < lo + 900.0))
+            ds.append(sub, lo, lo + 900.0)
+        pipe = Pipeline(twin_small, PipelineConfig(
+            chunk_seconds=900.0, backend="serial", fuse=True))
+        got = pipe.telemetry_series(ds, ["input_power"])
+        assert_tables_equal(got, single_pass)
+        assert pipe.stats.stage("fused/read").calls == ds.n_partitions
+
+    def test_fused_cache_cold_then_warm(self, twin_small, telemetry,
+                                        single_pass, tmp_path):
+        cfg = PipelineConfig(chunk_seconds=900.0, backend="serial",
+                             fuse=True, cache_dir=tmp_path / "cache")
+        cold = Pipeline(twin_small, cfg)
+        assert_tables_equal(
+            cold.telemetry_series(telemetry, ["input_power"],
+                                  cache_token="tel-hour"),
+            single_pass,
+        )
+        assert cold.stats.stage("fused").cache_misses > 0
+        warm = Pipeline(twin_small, cfg)
+        assert_tables_equal(
+            warm.telemetry_series(telemetry, ["input_power"],
+                                  cache_token="tel-hour"),
+            single_pass,
+        )
+        assert warm.stats.stage("fused").cache_misses == 0
+        assert (warm.stats.stage("fused").cache_hits
+                == cold.stats.stage("fused").cache_misses)
+
 
 class TestCacheEquivalence:
     def test_cold_then_warm_identical(self, twin_small, single_pass_series,

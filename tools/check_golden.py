@@ -101,7 +101,12 @@ SPECS: dict[str, list] = {
         Scalar("60 s PUE", r"(?m)^60 s\s+([\d.]+)", tol=0.02),
     ],
     "pipeline_scaling": [
-        Exact("serial shard rows", r"serial\s+\d+\s+\d+\s+\d+"),
+        Exact("single-pass row", r"(?m)^single-pass\s+\d+"),
+        Exact("serial shards", r"(?m)^serial\s+\d+"),
+        Exact("processes shards", r"(?m)^processes x4\s+\d+"),
+        Exact("fused shards", r"(?m)^fused x4\s+\d+"),
+        Exact("bit-identical", r"all variants bit-identical: \w+"),
+        Exact("kernel table present", r"(?m)^sorted-path\b"),
     ],
     "stream_throughput": [
         Exact("replayed rows", r"replayed rows: (\d+)"),
