@@ -1,0 +1,161 @@
+"""Extension — storage-engine I/O throughput: ``.rcs`` pushdown vs ``.npz``.
+
+A wide archive dataset (one sorted time column, one node column, 36 float
+telemetry channels — the shape of the paper's per-node parquet files) is
+written once per format, then read back through every access path the
+pipeline uses:
+
+* ``full``       — materialize every column of every shard;
+* ``projected``  — a 2-column projection (``timestamp`` + one channel),
+  the shape of ``telemetry_series``'s pushdown: ``.rcs`` maps only those
+  columns' pages, ``.npz`` decompresses only those members;
+* ``zone-pruned`` — a one-shard time-range scan: zone maps skip 7 of the
+  8 shards before any byte of them is read, then ``searchsorted`` slices
+  the survivor.
+
+Each variant reports a **cold** pass (first touch after open) and a
+**warm** pass (page cache hot).  Every read is forced to consume its
+bytes (column sums), so mmap laziness cannot fake a win; and every
+variant's table is asserted **bit-identical** to the full ``.npz``
+baseline before any timing is trusted.
+
+The headline anchor is the tentpole's acceptance bar: the 2-column
+projected ``.rcs`` read must beat the full-table ``.npz`` read by >= 3x.
+"""
+
+import time
+
+import numpy as np
+
+from benchutil import SCALE, anchor, emit
+from repro.core.report import render_table
+from repro.frame.table import Table, concat
+from repro.parallel import PartitionedDataset
+
+N_CHANNELS = 36
+N_SHARDS = 8
+ROWS_PER_SHARD = max(4_000, int(50_000 * SCALE))
+PROJECTION = ["timestamp", "m00"]
+
+
+def build_dataset(root, fmt):
+    """Write the wide archive in ``fmt`` (same bytes for both formats)."""
+    ds = PartitionedDataset.create(root / fmt, f"wide-{fmt}")
+    rng = np.random.default_rng(42)
+    span = float(ROWS_PER_SHARD)
+    for i in range(N_SHARDS):
+        t0 = i * span
+        cols = {
+            "timestamp": np.arange(t0, t0 + span),
+            "node": np.arange(ROWS_PER_SHARD, dtype=np.int64) % 64,
+        }
+        for c in range(N_CHANNELS):
+            cols[f"m{c:02d}"] = rng.normal(2_000.0, 150.0, ROWS_PER_SHARD)
+        ds.append(Table(cols), t0, t0 + span, fmt=fmt)
+    return ds
+
+
+def consume(table: Table) -> float:
+    """Touch every byte of every column (defeats mmap laziness)."""
+    total = 0.0
+    for c in table.columns:
+        total += float(np.asarray(table[c], dtype=np.float64).sum())
+    return total
+
+
+def timed(fn):
+    """(result, cold seconds, warm seconds) for one read variant."""
+    t0 = time.perf_counter()
+    out = fn()
+    cold = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    fn()
+    warm = time.perf_counter() - t0
+    return out, cold, warm
+
+
+def _assert_tables_identical(a, b, label):
+    assert a.columns == b.columns, label
+    assert a.n_rows == b.n_rows, label
+    for c in a.columns:
+        assert a[c].dtype == b[c].dtype, (label, c)
+        assert np.array_equal(a[c], b[c]), (label, c)
+
+
+def test_io_throughput(tmp_path):
+    datasets = {fmt: build_dataset(tmp_path, fmt) for fmt in ("rcs", "npz")}
+    n_rows = datasets["rcs"].n_rows
+    # the one-shard probe window: zone maps must skip the other 7 shards
+    span = float(ROWS_PER_SHARD)
+    t0p, t1p = 2 * span, 3 * span
+
+    variants = {}  # (variant, fmt) -> (table, cold_s, warm_s)
+    for fmt, ds in datasets.items():
+        variants["full", fmt] = timed(
+            lambda ds=ds: (lambda t: (consume(t), t)[1])(ds.to_table())
+        )
+        variants["projected", fmt] = timed(
+            lambda ds=ds: (lambda t: (consume(t), t)[1])(
+                ds.to_table(columns=PROJECTION)
+            )
+        )
+        variants["zone-pruned", fmt] = timed(
+            lambda ds=ds: (lambda t: (consume(t), t)[1])(
+                concat(list(ds.scan(PROJECTION, t0p, t1p)))
+            )
+        )
+
+    # ---- bit-identity across formats and against unpushed reads ----
+    full_npz = variants["full", "npz"][0]
+    _assert_tables_identical(variants["full", "rcs"][0], full_npz, "full")
+    want_proj = full_npz.select(PROJECTION)
+    for fmt in ("rcs", "npz"):
+        _assert_tables_identical(
+            variants["projected", fmt][0], want_proj, f"projected/{fmt}"
+        )
+    ts = full_npz["timestamp"]
+    want_pruned = full_npz.filter((ts >= t0p) & (ts < t1p)).select(PROJECTION)
+    for fmt in ("rcs", "npz"):
+        _assert_tables_identical(
+            variants["zone-pruned", fmt][0], want_pruned, f"pruned/{fmt}"
+        )
+
+    kept = datasets["rcs"].select_time(t0p, t1p)
+    assert kept == [2], "zone maps failed to prune to the single hot shard"
+
+    rows = []
+    for (variant, fmt), (table, cold, warm) in variants.items():
+        rows.append([
+            variant, fmt, len(table.columns), table.n_rows,
+            f"{cold:.4f}", f"{warm:.4f}",
+        ])
+    main = render_table(
+        ["variant", "format", "cols", "rows", "cold s", "warm s"],
+        rows,
+        title=(
+            "IO throughput: full vs projected vs zone-pruned reads "
+            f"({N_SHARDS} shards x {N_CHANNELS + 2} columns)"
+        ),
+    )
+    speedup = variants["full", "npz"][1] / max(
+        variants["projected", "rcs"][1], 1e-9
+    )
+    footer = (
+        f"\nall reads bit-identical: yes"
+        f"\nzone-map pruned shards: {N_SHARDS - len(kept)}/{N_SHARDS}"
+        f"\nprojected rcs vs full npz (cold): {speedup:.1f}x"
+        f"\nbytes on disk: rcs {datasets['rcs'].n_bytes} "
+        f"npz {datasets['npz'].n_bytes} ({n_rows} rows)\n"
+    )
+    emit("io_throughput", main + footer)
+
+    # tentpole acceptance bar: 2-column projection >= 3x full-table .npz
+    anchor(
+        speedup >= 3.0,
+        f"projected .rcs read must be >= 3x full .npz read, got {speedup:.1f}x",
+    )
+    # pruning must never be slower than the projected full sweep it replaces
+    anchor(
+        variants["zone-pruned", "rcs"][1] <= variants["projected", "rcs"][1] * 1.5,
+        "zone-pruned scan slower than the full projected sweep",
+    )

@@ -27,6 +27,14 @@ from repro.frame.io import (
     write_csv,
     read_csv,
 )
+from repro.frame.columnar import (
+    RcsFile,
+    save_rcs,
+    open_rcs,
+    load_rcs,
+    zone_map,
+    storage_format,
+)
 
 __all__ = [
     "Table",
@@ -51,4 +59,10 @@ __all__ = [
     "load_npz",
     "write_csv",
     "read_csv",
+    "RcsFile",
+    "save_rcs",
+    "open_rcs",
+    "load_rcs",
+    "zone_map",
+    "storage_format",
 ]

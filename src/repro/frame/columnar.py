@@ -1,0 +1,323 @@
+"""The ``.rcs`` columnar shard format: footer-indexed, mmap-read, zero-copy.
+
+Layout of a *Repro Columnar Shard* file::
+
+    +--------+----------------+----------------+-----+--------+--------+-------+
+    | "RCS1" | column 0 bytes | column 1 bytes | ... | footer | u64 len| "RCS1"|
+    +--------+----------------+----------------+-----+--------+--------+-------+
+
+Each column is the raw little-endian buffer of one contiguous 1-D numpy
+array, padded to a 64-byte boundary so every mapped view is cache-line
+aligned.  The footer is JSON holding, per column: name, dtype, byte offset,
+byte length, and a **zone map** (min / max / null count / sorted flag) —
+plus the row count.  The trailing ``(length, magic)`` pair lets a reader
+find the footer by seeking from the end, parquet-style, without scanning
+the data blocks.
+
+Reads go through ``numpy.memmap``: :meth:`RcsFile.read` returns a
+:class:`~repro.frame.table.Table` whose columns are **views** over the
+mapped file — no bytes are copied, and a two-column projection of a
+hundred-column shard maps (at most) two columns' pages.  Lifetime is
+handled twice over: every view's ``base`` chain pins the mapping, and the
+table additionally retains the :class:`RcsFile` via
+:meth:`~repro.frame.table.Table.retain` — so the table stays valid after
+the reader (or the owning dataset) is garbage collected, and, on POSIX,
+after the file itself is unlinked.
+
+``REPRO_STORAGE`` selects the shard format dataset writers use (``rcs``,
+the default, or ``npz`` for the compressed fallback reader).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+from pathlib import Path
+
+import numpy as np
+
+from repro.frame.table import Table
+
+__all__ = [
+    "RCS_MAGIC",
+    "RCS_VERSION",
+    "RcsFile",
+    "save_rcs",
+    "open_rcs",
+    "load_rcs",
+    "zone_map",
+    "storage_format",
+]
+
+RCS_MAGIC = b"RCS1"
+RCS_VERSION = 1
+
+#: column buffers start on 64-byte boundaries (cache-line aligned views)
+_ALIGN = 64
+
+_FORMATS = ("rcs", "npz")
+
+
+def storage_format(default: str = "rcs") -> str:
+    """The shard format dataset writers use: ``REPRO_STORAGE`` or ``default``."""
+    fmt = os.environ.get("REPRO_STORAGE") or default
+    if fmt not in _FORMATS:
+        raise ValueError(
+            f"REPRO_STORAGE must be one of {_FORMATS}, got {fmt!r}"
+        )
+    return fmt
+
+
+def _json_scalar(value):
+    """A JSON-safe rendition of one zone-map bound (None for NaN/empty)."""
+    if value is None:
+        return None
+    if isinstance(value, (np.floating, float)):
+        v = float(value)
+        return None if np.isnan(v) else v
+    if isinstance(value, (np.bool_, bool)):
+        return bool(value)
+    if isinstance(value, (np.integer, int)):
+        return int(value)
+    return str(value)
+
+
+def zone_map(table: Table) -> dict[str, dict]:
+    """Per-column shard statistics: min, max, null count, sorted flag.
+
+    ``min``/``max`` ignore NaNs (``None`` when a column is empty or
+    all-NaN); ``nulls`` counts NaNs in float columns (0 elsewhere);
+    ``sorted`` is True when the column is non-decreasing with no NaNs —
+    the precondition for ``searchsorted`` row pruning on that column.
+    All values are JSON-serializable, so a zone map can live in a dataset
+    manifest as well as in an ``.rcs`` footer.
+    """
+    zones: dict[str, dict] = {}
+    for name in table.columns:
+        col = table[name]
+        lo = hi = None
+        nulls = 0
+        is_sorted = False
+        if col.shape[0]:
+            if col.dtype.kind == "f":
+                finite_mask = ~np.isnan(col)
+                nulls = int(col.shape[0] - finite_mask.sum())
+                if nulls < col.shape[0]:
+                    lo, hi = np.min(col[finite_mask]), np.max(col[finite_mask])
+                is_sorted = nulls == 0 and bool(np.all(col[1:] >= col[:-1]))
+            elif col.dtype.kind in "US":
+                # no min/max ufunc loop for strings: one sort via unique
+                uniq = np.unique(col)
+                lo, hi = uniq[0], uniq[-1]
+            else:
+                lo, hi = np.min(col), np.max(col)
+                if col.dtype.kind in "iub":
+                    is_sorted = bool(np.all(col[1:] >= col[:-1]))
+        zones[name] = {
+            "min": _json_scalar(lo),
+            "max": _json_scalar(hi),
+            "nulls": nulls,
+            "sorted": is_sorted,
+        }
+    return zones
+
+
+def _pad(n: int) -> int:
+    return (-n) % _ALIGN
+
+
+def save_rcs(
+    table: Table,
+    path: str | os.PathLike,
+    atomic: bool = False,
+    zones: dict[str, dict] | None = None,
+) -> int:
+    """Write ``table`` as an ``.rcs`` shard; returns bytes on disk.
+
+    Columns are written as raw little-endian buffers (non-native byte
+    order is normalized); ``zones`` lets a caller that already computed
+    :func:`zone_map` skip the second pass.  With ``atomic`` the shard is
+    written to a same-directory temp file, fsynced, and renamed into
+    place, so concurrent readers never observe a torn shard.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if zones is None:
+        zones = zone_map(table)
+
+    cols_meta: list[dict] = []
+    buffers: list[np.ndarray] = []
+    offset = len(RCS_MAGIC) + _pad(len(RCS_MAGIC))
+    for name in table.columns:
+        col = np.ascontiguousarray(table[name])
+        if col.dtype.byteorder == ">":  # normalize to little-endian
+            col = col.astype(col.dtype.newbyteorder("<"))
+        buffers.append(col)
+        cols_meta.append(
+            {
+                "name": name,
+                "dtype": col.dtype.str,
+                "offset": offset,
+                "nbytes": int(col.nbytes),
+                "zone": zones[name],
+            }
+        )
+        offset += int(col.nbytes) + _pad(int(col.nbytes))
+
+    footer = json.dumps(
+        {"version": RCS_VERSION, "n_rows": table.n_rows, "columns": cols_meta},
+        separators=(",", ":"),
+    ).encode()
+
+    def _write(f) -> None:
+        f.write(RCS_MAGIC)
+        f.write(b"\0" * _pad(len(RCS_MAGIC)))
+        for col, meta in zip(buffers, cols_meta):
+            f.write(col.tobytes())
+            f.write(b"\0" * _pad(meta["nbytes"]))
+        f.write(footer)
+        f.write(struct.pack("<Q", len(footer)))
+        f.write(RCS_MAGIC)
+
+    if not atomic:
+        with open(path, "wb") as f:
+            _write(f)
+        return path.stat().st_size
+    tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+    try:
+        with open(tmp, "wb") as f:
+            _write(f)
+            f.flush()
+            os.fsync(f.fileno())
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():  # pragma: no cover - only on a failed write
+            tmp.unlink()
+    return path.stat().st_size
+
+
+class RcsFile:
+    """A readable ``.rcs`` shard: parsed footer + lazily mapped data.
+
+    Opening parses only the footer (two small reads from the file tail);
+    the data region is mapped on the first :meth:`read`.  Every table a
+    reader hands out pins the mapping through its column views *and* via
+    :meth:`Table.retain`, so the file object itself can be dropped freely.
+    """
+
+    def __init__(self, path: str | os.PathLike):
+        self.path = Path(path)
+        with open(self.path, "rb") as f:
+            f.seek(0, os.SEEK_END)
+            size = f.tell()
+            tail = len(RCS_MAGIC) + 8
+            if size < len(RCS_MAGIC) + tail:
+                raise ValueError(f"not an RCS file (too short): {self.path}")
+            f.seek(size - tail)
+            length, magic = struct.unpack(f"<Q{len(RCS_MAGIC)}s", f.read(tail))
+            if magic != RCS_MAGIC:
+                raise ValueError(f"bad RCS trailer magic in {self.path}")
+            if length > size - tail - len(RCS_MAGIC):
+                raise ValueError(f"corrupt RCS footer length in {self.path}")
+            f.seek(size - tail - length)
+            footer = json.loads(f.read(length))
+            f.seek(0)
+            if f.read(len(RCS_MAGIC)) != RCS_MAGIC:
+                raise ValueError(f"bad RCS header magic in {self.path}")
+        if footer.get("version") != RCS_VERSION:
+            raise ValueError(
+                f"unsupported RCS version {footer.get('version')!r} "
+                f"in {self.path}"
+            )
+        self.n_rows: int = int(footer["n_rows"])
+        self._cols: dict[str, dict] = {c["name"]: c for c in footer["columns"]}
+        self._mm: np.memmap | None = None
+
+    # ---------------- metadata ----------------
+
+    @property
+    def columns(self) -> list[str]:
+        """Column names in file order."""
+        return list(self._cols)
+
+    @property
+    def zones(self) -> dict[str, dict]:
+        """Zone map per column (min / max / nulls / sorted)."""
+        return {name: meta["zone"] for name, meta in self._cols.items()}
+
+    def __repr__(self) -> str:
+        return (
+            f"RcsFile({str(self.path)!r}, {self.n_rows} rows, "
+            f"{len(self._cols)} columns)"
+        )
+
+    # ---------------- reading ----------------
+
+    def _mapping(self) -> np.memmap:
+        if self._mm is None:
+            self._mm = np.memmap(self.path, dtype=np.uint8, mode="r")
+        return self._mm
+
+    def read(
+        self,
+        columns: list[str] | None = None,
+        rows: slice | None = None,
+    ) -> Table:
+        """A zero-copy table of the requested columns (default: all).
+
+        ``rows`` slices every column (still zero-copy: views of views).
+        The returned table retains this reader, and each view's ``base``
+        chain pins the mapping, so it outlives both this object and — on
+        POSIX — the directory entry itself.
+        """
+        names = self.columns if columns is None else list(columns)
+        missing = [n for n in names if n not in self._cols]
+        if missing:
+            raise KeyError(
+                f"no columns {missing} in {self.path}; have {self.columns}"
+            )
+        mm = self._mapping()
+        cols: dict[str, np.ndarray] = {}
+        for name in names:
+            meta = self._cols[name]
+            raw = mm[meta["offset"]:meta["offset"] + meta["nbytes"]]
+            view = raw.view(np.dtype(meta["dtype"]))
+            cols[name] = view if rows is None else view[rows]
+        return Table(cols).retain(self)
+
+    def read_time_range(
+        self,
+        t_begin: float,
+        t_end: float,
+        columns: list[str] | None = None,
+        time: str = "timestamp",
+    ) -> Table:
+        """Rows with ``t_begin <= time < t_end`` (zero-copy when sorted).
+
+        A time column the zone map marks sorted is sliced with two
+        ``searchsorted`` probes — only the time column's pages are
+        touched before slicing; otherwise a boolean mask is applied
+        (which materializes fresh arrays).
+        """
+        if time not in self._cols:
+            raise KeyError(f"no time column {time!r} in {self.path}")
+        t = self.read([time])[time]
+        if self._cols[time]["zone"]["sorted"]:
+            lo = int(np.searchsorted(t, t_begin, side="left"))
+            hi = int(np.searchsorted(t, t_end, side="left"))
+            return self.read(columns, rows=slice(lo, hi))
+        mask = (t >= t_begin) & (t < t_end)
+        return self.read(columns).filter(mask)
+
+
+def open_rcs(path: str | os.PathLike) -> RcsFile:
+    """Open an ``.rcs`` shard for reading (footer parse only)."""
+    return RcsFile(path)
+
+
+def load_rcs(
+    path: str | os.PathLike, columns: list[str] | None = None
+) -> Table:
+    """Load (a projection of) an ``.rcs`` shard as a zero-copy table."""
+    return RcsFile(path).read(columns)

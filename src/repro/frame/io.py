@@ -9,6 +9,8 @@ from __future__ import annotations
 
 import io
 import os
+import struct
+import zipfile
 from pathlib import Path
 
 import numpy as np
@@ -19,9 +21,11 @@ from repro.frame.table import Table
 def save_npz(table: Table, path: str | os.PathLike, atomic: bool = False) -> int:
     """Write ``table`` to a compressed ``.npz``; returns bytes on disk.
 
-    With ``atomic`` the table is written to a same-directory temporary file
-    and renamed into place, so concurrent readers (e.g. artifact-cache
-    lookups from parallel pipeline workers) never observe a partial file.
+    With ``atomic`` the table is written to a same-directory temporary file,
+    **fsynced**, and renamed into place, so concurrent readers (e.g.
+    artifact-cache lookups from parallel pipeline workers) never observe a
+    partial file — and a crash right after the rename cannot leave an empty
+    entry behind the new name.
     """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
@@ -31,7 +35,10 @@ def save_npz(table: Table, path: str | os.PathLike, atomic: bool = False) -> int
     # keep the .npz suffix: numpy appends one to unrecognized extensions
     tmp = path.with_name(f".{path.stem}.{os.getpid()}.tmp.npz")
     try:
-        np.savez_compressed(tmp, **table.as_dict())
+        with open(tmp, "wb") as f:
+            np.savez_compressed(f, **table.as_dict())
+            f.flush()
+            os.fsync(f.fileno())
         os.replace(tmp, path)
     finally:
         if tmp.exists():  # pragma: no cover - only on a failed write
@@ -39,10 +46,52 @@ def save_npz(table: Table, path: str | os.PathLike, atomic: bool = False) -> int
     return path.stat().st_size
 
 
-def load_npz(path: str | os.PathLike) -> Table:
-    """Load a table written by :func:`save_npz` (column order = file order)."""
-    with np.load(path, allow_pickle=False) as data:
-        return Table({name: data[name] for name in data.files})
+_ZIP_LOCAL_HEADER = 30  # fixed part of a zip local file header
+
+
+def load_npz(
+    path: str | os.PathLike, columns: list[str] | None = None
+) -> Table:
+    """Load a table written by :func:`save_npz` (column order = file order).
+
+    ``columns`` projects the read: only the named members are extracted
+    (zip members are independent, so unrequested columns are never
+    decompressed).  Uncompressed (``ZIP_STORED``) members are read by
+    seeking the archive's underlying file handle to the member payload and
+    handing it to ``np.lib.format.read_array`` — one ``fromfile`` copy
+    straight into the destination array, instead of the
+    extract-to-bytes-then-``frombuffer`` double copy ``np.load`` pays on
+    file-like members.
+    """
+    with zipfile.ZipFile(path) as zf:
+        names = [n[:-4] for n in zf.namelist() if n.endswith(".npy")]
+        if columns is not None:
+            missing = [c for c in columns if c not in names]
+            if missing:
+                raise KeyError(f"no columns {missing} in {path}; have {names}")
+            names = list(columns)
+        cols: dict[str, np.ndarray] = {}
+        raw = zf.fp
+        for name in names:
+            info = zf.getinfo(name + ".npy")
+            if info.compress_type == zipfile.ZIP_STORED and raw is not None:
+                # seek past the local header straight to the .npy payload
+                raw.seek(info.header_offset)
+                header = raw.read(_ZIP_LOCAL_HEADER)
+                if header[:4] == b"PK\x03\x04":
+                    n_name, n_extra = struct.unpack("<HH", header[26:30])
+                    raw.seek(
+                        info.header_offset + _ZIP_LOCAL_HEADER + n_name + n_extra
+                    )
+                    cols[name] = np.lib.format.read_array(
+                        raw, allow_pickle=False
+                    )
+                    continue
+            with zf.open(info) as member:
+                cols[name] = np.lib.format.read_array(
+                    member, allow_pickle=False
+                )
+        return Table(cols)
 
 
 def write_csv(table: Table, path: str | os.PathLike) -> int:

@@ -20,11 +20,12 @@ import numpy as np
 class Table:
     """An ordered mapping of column names to equal-length 1-D numpy arrays."""
 
-    __slots__ = ("_cols", "_n")
+    __slots__ = ("_cols", "_n", "_owner")
 
     def __init__(self, columns: Mapping[str, Any] | None = None):
         self._cols: dict[str, np.ndarray] = {}
         self._n = 0
+        self._owner: Any = None
         if columns:
             first = True
             for name, values in columns.items():
@@ -213,6 +214,34 @@ class Table:
         return np.unique(self._cols[column])
 
     # ---------------- misc ----------------
+
+    def retain(self, owner: Any) -> "Table":
+        """Pin ``owner`` for this table's lifetime; returns ``self``.
+
+        Used by zero-copy readers (``repro.frame.columnar``) to give a
+        table of mmap-backed views explicit ownership of the mapping.
+        The column views' ``base`` chains already keep the buffer alive;
+        the retained owner makes that lifetime visible and survives even
+        if a caller swaps a column array for a copy.  Derived tables
+        (filters, slices, projections) rely on the ``base`` chain alone.
+        """
+        self._owner = owner
+        return self
+
+    @property
+    def owner(self) -> Any:
+        """The retained buffer owner, or None (see :meth:`retain`)."""
+        return self._owner
+
+    def __getstate__(self):
+        # the owner (e.g. an open mmap) must not ride along through
+        # pickle: views serialize as self-contained copies anyway
+        return {"_cols": self._cols, "_n": self._n}
+
+    def __setstate__(self, state):
+        self._cols = state["_cols"]
+        self._n = state["_n"]
+        self._owner = None
 
     def copy(self) -> "Table":
         """Deep copy (fresh arrays)."""

@@ -23,7 +23,15 @@ from repro.parallel.executor import (
     default_workers,
 )
 from repro.parallel.graph import TaskGraph, CycleError
-from repro.parallel.shm import SharedTableRef, attach_table, materialize, share_table
+from repro.parallel.shm import (
+    MmapTableRef,
+    SharedTableRef,
+    attach_mmap,
+    attach_table,
+    materialize,
+    mmap_ref,
+    share_table,
+)
 from repro.parallel.partition import PartitionedDataset, PartitionMeta
 from repro.parallel.algorithms import (
     map_partitions,
@@ -38,9 +46,12 @@ __all__ = [
     "default_mp_context",
     "default_workers",
     "SharedTableRef",
+    "MmapTableRef",
     "share_table",
     "attach_table",
     "materialize",
+    "mmap_ref",
+    "attach_mmap",
     "TaskGraph",
     "CycleError",
     "PartitionedDataset",

@@ -1,18 +1,36 @@
-"""Time-partitioned on-disk datasets (one NPZ shard per partition).
+"""Time-partitioned on-disk datasets (one columnar shard per partition).
 
 The analogue of the paper's "one parquet file per day": a directory holding
-numbered compressed shards plus a JSON manifest recording each shard's time
-range, row count, and byte size.  Shards are read lazily, so a year-scale
-dataset never has to fit in memory at once.
+numbered shards plus a JSON manifest recording each shard's time range, row
+count, byte size, storage format, and **zone map** (per-column min / max /
+null count / sorted flag).  Shards are read lazily, so a year-scale dataset
+never has to fit in memory at once.
+
+Shards are written in the ``.rcs`` columnar format by default
+(:mod:`repro.frame.columnar`): reads mmap the file and hand back zero-copy
+column views, so a projected read touches only the requested columns'
+pages.  ``REPRO_STORAGE=npz`` keeps the compressed ``.npz`` fallback
+(bit-identical contents, no zero-copy path); datasets written before the
+manifest carried zone maps still open and read fine.
+
+Pushdown enters here:
+
+* **projection** — ``read(i, columns=[...])`` maps/extracts only the named
+  columns;
+* **predicate** — :meth:`select_time` / :meth:`select_where` prune whole
+  shards from the manifest's zone maps *before any byte of them is
+  mapped*, and :meth:`read_time_range` slices surviving shards with two
+  ``searchsorted`` probes when the time column is sorted.
 """
 
 from __future__ import annotations
 
 import json
 import os
-from dataclasses import dataclass, asdict
+from dataclasses import dataclass, asdict, field
 from pathlib import Path
 
+from repro.frame.columnar import load_rcs, open_rcs, save_rcs, storage_format, zone_map
 from repro.frame.io import load_npz, save_npz
 from repro.frame.table import Table, concat
 
@@ -21,7 +39,13 @@ _MANIFEST = "manifest.json"
 
 @dataclass(frozen=True)
 class PartitionMeta:
-    """Manifest entry for one shard."""
+    """Manifest entry for one shard.
+
+    ``format`` names the on-disk encoding (``rcs`` or ``npz``); ``zone``
+    is the shard's zone map (absent in pre-columnar manifests, in which
+    case pruning falls back to the partition time extents and row slicing
+    to masks).
+    """
 
     index: int
     filename: str
@@ -29,6 +53,8 @@ class PartitionMeta:
     t_end: float
     n_rows: int
     n_bytes: int
+    format: str = "npz"
+    zone: dict | None = field(default=None, compare=False)
 
 
 class PartitionedDataset:
@@ -65,11 +91,21 @@ class PartitionedDataset:
         manifest.write_text(json.dumps({"name": name, "partitions": []}))
         return cls(root)
 
-    def append(self, table: Table, t_begin: float, t_end: float) -> PartitionMeta:
+    def append(
+        self,
+        table: Table,
+        t_begin: float,
+        t_end: float,
+        fmt: str | None = None,
+    ) -> PartitionMeta:
         """Write ``table`` as the next shard covering ``[t_begin, t_end)``.
 
         Shards must be appended in time order (enforced) so that binary
-        search over the manifest stays valid.
+        search over the manifest stays valid.  ``fmt`` overrides the
+        storage format (default: ``REPRO_STORAGE``, i.e. ``rcs``); the
+        shard's zone map is computed once and persisted both in the
+        manifest (for pre-read pruning) and, for ``rcs``, in the file
+        footer.
         """
         if self.partitions and t_begin < self.partitions[-1].t_end:
             raise ValueError(
@@ -78,11 +114,16 @@ class PartitionedDataset:
             )
         if t_end <= t_begin:
             raise ValueError("partition must have positive time extent")
+        fmt = fmt or storage_format()
+        zones = zone_map(table)
         idx = len(self.partitions)
-        fname = f"part-{idx:05d}.npz"
-        n_bytes = save_npz(table, self.root / fname)
+        fname = f"part-{idx:05d}.{fmt}"
+        if fmt == "rcs":
+            n_bytes = save_rcs(table, self.root / fname, zones=zones)
+        else:
+            n_bytes = save_npz(table, self.root / fname)
         meta = PartitionMeta(idx, fname, float(t_begin), float(t_end),
-                             table.n_rows, n_bytes)
+                             table.n_rows, n_bytes, format=fmt, zone=zones)
         self.partitions.append(meta)
         self._flush()
         return meta
@@ -107,7 +148,7 @@ class PartitionedDataset:
 
     @property
     def n_bytes(self) -> int:
-        """Total compressed bytes on disk."""
+        """Total bytes on disk."""
         return sum(p.n_bytes for p in self.partitions)
 
     @property
@@ -117,10 +158,61 @@ class PartitionedDataset:
             return (0.0, 0.0)
         return (self.partitions[0].t_begin, self.partitions[-1].t_end)
 
-    def read(self, index: int) -> Table:
-        """Load one shard."""
+    @property
+    def column_names(self) -> list[str] | None:
+        """Column names from the first shard's zone map (None if unknown
+        without reading, i.e. a pre-columnar manifest)."""
+        for p in self.partitions:
+            if p.zone is not None:
+                return list(p.zone)
+        return None
+
+    def read(self, index: int, columns: list[str] | None = None) -> Table:
+        """Load one shard, optionally projected onto ``columns``.
+
+        For ``rcs`` shards the projection is zero-copy: only the named
+        columns' byte ranges are mapped.  For ``npz`` shards only the
+        named members are decompressed.
+        """
         meta = self.partitions[index]
-        return load_npz(self.root / meta.filename)
+        if meta.format == "rcs":
+            return load_rcs(self.root / meta.filename, columns)
+        return load_npz(self.root / meta.filename, columns)
+
+    def read_time_range(
+        self,
+        index: int,
+        t_begin: float,
+        t_end: float,
+        columns: list[str] | None = None,
+        time: str = "timestamp",
+    ) -> Table:
+        """One shard's rows with ``t_begin <= time < t_end``, projected.
+
+        When the shard's zone map marks the time column sorted, rows are
+        sliced with two ``searchsorted`` probes (zero-copy on ``rcs``);
+        otherwise a boolean mask is applied.
+        """
+        meta = self.partitions[index]
+        if meta.format == "rcs":
+            return open_rcs(self.root / meta.filename).read_time_range(
+                t_begin, t_end, columns, time=time
+            )
+        import numpy as np
+
+        need = columns if columns is None else list(
+            dict.fromkeys(list(columns) + [time])
+        )
+        table = load_npz(self.root / meta.filename, need)
+        t = np.asarray(table[time], dtype=np.float64)
+        zone = (meta.zone or {}).get(time)
+        if zone is not None and zone.get("sorted"):
+            lo = int(np.searchsorted(t, t_begin, side="left"))
+            hi = int(np.searchsorted(t, t_end, side="left"))
+            table = table[lo:hi]
+        else:
+            table = table.filter((t >= t_begin) & (t < t_end))
+        return table if columns is None else table.select(columns)
 
     def __iter__(self):
         for i in range(self.n_partitions):
@@ -130,16 +222,79 @@ class PartitionedDataset:
         """Filesystem path of one shard (for process-backend workers)."""
         return self.root / self.partitions[index].filename
 
-    def select_time(self, t_begin: float, t_end: float) -> list[int]:
-        """Indices of shards overlapping ``[t_begin, t_end)``."""
-        return [
-            p.index
-            for p in self.partitions
-            if p.t_begin < t_end and p.t_end > t_begin
-        ]
+    def _time_bounds(self, meta: PartitionMeta, time: str) -> tuple[float, float, bool]:
+        """(lo, hi, inclusive_hi) pruning bounds for one shard: the zone
+        map's actual data min/max when present, else the partition's
+        declared half-open extent."""
+        zone = (meta.zone or {}).get(time)
+        if zone is not None and zone["min"] is not None:
+            return float(zone["min"]), float(zone["max"]), True
+        return meta.t_begin, meta.t_end, False
 
-    def to_table(self) -> Table:
+    def select_time(
+        self, t_begin: float, t_end: float, time: str = "timestamp"
+    ) -> list[int]:
+        """Indices of shards whose rows can overlap ``[t_begin, t_end)``.
+
+        Uses zone maps (actual per-shard data bounds) when the manifest
+        has them — tighter than the declared partition extents, so e.g. a
+        shard covering a drain window with no samples in the probe range
+        is skipped without mapping a byte.
+        """
+        out = []
+        for p in self.partitions:
+            if p.n_rows == 0:
+                continue
+            lo, hi, incl = self._time_bounds(p, time)
+            if lo < t_end and (hi >= t_begin if incl else hi > t_begin):
+                out.append(p.index)
+        return out
+
+    def select_where(self, column: str, lo: float, hi: float) -> list[int]:
+        """Indices of shards whose ``column`` zone overlaps ``[lo, hi]``.
+
+        The node/cluster-filter analogue of :meth:`select_time`: a shard
+        whose zone map proves every value falls outside the closed range
+        is pruned.  Shards without a zone for ``column`` are kept (cannot
+        prove absence).
+        """
+        out = []
+        for p in self.partitions:
+            if p.n_rows == 0:
+                continue
+            zone = (p.zone or {}).get(column)
+            if zone is not None and zone["min"] is not None:
+                if zone["min"] > hi or zone["max"] < lo:
+                    continue
+            out.append(p.index)
+        return out
+
+    def scan(
+        self,
+        columns: list[str] | None = None,
+        t_begin: float | None = None,
+        t_end: float | None = None,
+        time: str = "timestamp",
+    ):
+        """Yield (projected, time-pruned) shard tables in time order.
+
+        Whole shards outside the time range are skipped via zone maps;
+        surviving shards are row-sliced.  With no time range this is just
+        a projected iteration.
+        """
+        if t_begin is None and t_end is None:
+            for i in range(self.n_partitions):
+                yield self.read(i, columns)
+            return
+        lo = -float("inf") if t_begin is None else t_begin
+        hi = float("inf") if t_end is None else t_end
+        for i in self.select_time(lo, hi, time=time):
+            yield self.read_time_range(i, lo, hi, columns, time=time)
+
+    def to_table(self, columns: list[str] | None = None) -> Table:
         """Materialize the whole dataset (small datasets / tests only)."""
         if not self.partitions:
             raise ValueError("empty dataset")
-        return concat([self.read(i) for i in range(self.n_partitions)])
+        return concat(
+            [self.read(i, columns) for i in range(self.n_partitions)]
+        )

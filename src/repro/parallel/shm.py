@@ -21,10 +21,17 @@ Lifetime is deterministic and parent-owned:
 * result tables travel the same way when large enough to matter
   (:data:`SHM_MIN_BYTES`): the worker materializes them into a fresh segment
   that the parent copies out of and unlinks immediately.
+
+Tables whose columns are views over a file-backed mmap (``.rcs`` shard
+reads from :mod:`repro.frame.columnar`) skip shared memory entirely: they
+ship as an :class:`MmapTableRef` — file path + per-column byte offsets —
+and the worker re-maps the same file, so the payload crosses **no** process
+boundary in either direction; the kernel page cache is the transport.
 """
 
 from __future__ import annotations
 
+import mmap as _mmap
 from dataclasses import dataclass
 from multiprocessing import resource_tracker, shared_memory
 
@@ -35,9 +42,12 @@ from repro.frame.table import Table
 __all__ = [
     "SHM_MIN_BYTES",
     "SharedTableRef",
+    "MmapTableRef",
     "share_table",
     "attach_table",
     "materialize",
+    "mmap_ref",
+    "attach_mmap",
     "wrap_item",
     "unwrap_item",
     "wrap_result",
@@ -78,6 +88,85 @@ class SharedTableRef:
             int(np.dtype(c.dtype).itemsize) * int(np.prod(c.shape, dtype=np.int64))
             for c in self.columns
         )
+
+
+@dataclass(frozen=True)
+class MmapTableRef:
+    """Picklable descriptor of a table whose columns are views over one
+    file-backed mmap (an ``.rcs`` shard read).
+
+    Cheaper than :class:`SharedTableRef` for dataset-backed items: the
+    parent copies **nothing** — the worker re-maps the file at the same
+    path and rebuilds each column as a view at its recorded byte offset.
+    The file must outlive the map call (true for dataset shards, whose
+    lifetime the caller owns).
+    """
+
+    path: str
+    columns: tuple[_ColumnMeta, ...]
+    n_rows: int
+
+
+try:  # numpy >= 2.0 moved byte_bounds out of the top-level namespace
+    from numpy.lib.array_utils import byte_bounds as _byte_bounds
+except ImportError:  # pragma: no cover - numpy < 2.0
+    from numpy import byte_bounds as _byte_bounds
+
+
+def mmap_ref(table: Table) -> MmapTableRef | None:
+    """Describe ``table`` by file path + per-column offsets, if possible.
+
+    Succeeds only when every column is a C-contiguous view whose ``base``
+    chain bottoms out in the *same* ``numpy.memmap`` — exactly what
+    :meth:`repro.frame.columnar.RcsFile.read` (and its row-sliced reads)
+    produce.  Returns None for ordinary in-memory tables.
+    """
+    path: str | None = None
+    metas: list[_ColumnMeta] = []
+    for name in table.columns:
+        col = table[name]
+        if not col.flags.c_contiguous:
+            return None
+        # walk to the root of the view chain.  Slices/views of a memmap are
+        # themselves memmap *instances* (subclass propagation) — and so are
+        # fancy-indexed COPIES, which merely inherit the filename attribute
+        # without mapping the file — so the only reliable test is that the
+        # chain's root array sits directly on an OS-level mmap.
+        base = col
+        while isinstance(base.base, np.ndarray):
+            base = base.base
+        if (
+            not isinstance(base, np.memmap)
+            or base.filename is None
+            or not isinstance(base.base, _mmap.mmap)
+        ):
+            return None
+        if path is None:
+            path = str(base.filename)
+        elif str(base.filename) != path:
+            return None
+        offset = (
+            _byte_bounds(col)[0] - _byte_bounds(base)[0] + base.offset
+        )
+        metas.append(_ColumnMeta(name, col.dtype.str, col.shape, int(offset)))
+    if path is None:  # zero-column table
+        return None
+    return MmapTableRef(path, tuple(metas), table.n_rows)
+
+
+def attach_mmap(ref: MmapTableRef) -> Table:
+    """Worker-side inverse of :func:`mmap_ref`: re-map and view.
+
+    The single byte-level ``memmap`` is shared by every column view, and
+    the views' ``base`` chains keep it alive — no handle to manage.
+    """
+    buf = np.memmap(ref.path, dtype=np.uint8, mode="r")
+    cols = {}
+    for m in ref.columns:
+        dt = np.dtype(m.dtype)
+        n_bytes = dt.itemsize * int(np.prod(m.shape, dtype=np.int64))
+        cols[m.name] = buf[m.offset:m.offset + n_bytes].view(dt).reshape(m.shape)
+    return Table(cols).retain(buf)
 
 
 def share_table(table: Table) -> tuple[shared_memory.SharedMemory, SharedTableRef]:
@@ -168,14 +257,23 @@ def release(shm: shared_memory.SharedMemory) -> None:
 
 
 def wrap_item(item, owned: list) -> object:
-    """Replace large Tables inside ``item`` with shm descriptors.
+    """Replace large Tables inside ``item`` with shm or mmap descriptors.
 
-    Created segments are appended to ``owned`` for the caller's ``finally``.
+    A table whose columns already live in a file-backed mmap (a columnar
+    shard read) ships as an :class:`MmapTableRef` — path + offsets, no
+    copy at all, regardless of size.  Other large tables are copied into
+    a fresh shared-memory segment; created segments are appended to
+    ``owned`` for the caller's ``finally``.
     """
-    if isinstance(item, Table) and item.nbytes() >= SHM_MIN_BYTES:
-        shm, ref = share_table(item)
-        owned.append(shm)
-        return ref
+    if isinstance(item, Table):
+        ref = mmap_ref(item)
+        if ref is not None:
+            return ref
+        if item.nbytes() >= SHM_MIN_BYTES:
+            shm, sref = share_table(item)
+            owned.append(shm)
+            return sref
+        return item
     if isinstance(item, tuple):
         return tuple(wrap_item(el, owned) for el in item)
     return item
@@ -185,11 +283,14 @@ def unwrap_item(item) -> object:
     """Worker-side inverse of :func:`wrap_item` (views, zero copies).
 
     Returns ``(value, handles)`` where ``handles`` are the mapped segments
-    to close once the task's views are dead.
+    to close once the task's views are dead.  Mmap-backed tables carry no
+    handle: the file mapping dies with its last view.
     """
     if isinstance(item, SharedTableRef):
         table, handle = attach_table(item, track=False)
         return table, [handle]
+    if isinstance(item, MmapTableRef):
+        return attach_mmap(item), []
     if isinstance(item, tuple):
         vals, handles = [], []
         for el in item:

@@ -25,7 +25,8 @@ from repro.frame.io import load_npz, save_npz
 from repro.frame.table import Table
 
 #: bump when stage semantics change in a way that invalidates old artifacts
-CACHE_FORMAT_VERSION = 1
+#: (2: fused-stage keys carry the projection and time-range pushdown)
+CACHE_FORMAT_VERSION = 2
 
 
 def _canonical(obj) -> object:

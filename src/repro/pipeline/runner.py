@@ -186,23 +186,35 @@ class _FusedChunk:
 
     The coarsened intermediate lives and dies inside the worker: nothing but
     the final (tiny) cluster-series slice crosses the executor boundary.
-    Each sub-step is timed in the worker so the parent can keep per-stage
+    Dataset reads push the stage's **projection** (the columns the coarsen
+    actually consumes) and optional **time range** down into the shard
+    reader, so an ``.rcs`` shard maps only those columns' pages.  Each
+    sub-step is timed in the worker so the parent can keep per-stage
     accounting (``fused/read``, ``fused/coarsen``, ``fused/aggregate``).
     """
 
-    __slots__ = ("coarsen", "value", "dataset")
+    __slots__ = ("coarsen", "value", "dataset", "columns", "t_range")
 
-    def __init__(self, coarsen: _CoarsenChunk, value: str, dataset=None):
+    def __init__(self, coarsen: _CoarsenChunk, value: str, dataset=None,
+                 columns=None, t_range=None):
         self.coarsen = coarsen
         self.value = value
         self.dataset = dataset
+        self.columns = list(columns) if columns is not None else None
+        self.t_range = t_range
 
     def __call__(self, item) -> tuple[Table, tuple, int]:
         from repro.core.aggregate import cluster_power_series
 
         t0 = _time.perf_counter()
-        if self.dataset is not None:
-            sub = self.dataset.read(item)  # item is a shard index
+        if self.dataset is not None:  # item is a shard index
+            if self.t_range is not None:
+                sub = self.dataset.read_time_range(
+                    item, self.t_range[0], self.t_range[1],
+                    columns=self.columns, time=self.coarsen.time,
+                )
+            else:
+                sub = self.dataset.read(item, columns=self.columns)
         else:
             sub = item
         t1 = _time.perf_counter()
@@ -496,6 +508,8 @@ class Pipeline:
         drop_nan: bool = True,
         presorted: bool | None = None,
         cache_token: str | None = None,
+        t_begin: float | None = None,
+        t_end: float | None = None,
     ) -> Table:
         """Telemetry -> cluster power series (Dataset A -> Dataset 1).
 
@@ -514,16 +528,47 @@ class Pipeline:
         :class:`~repro.parallel.partition.PartitionedDataset` whose shard
         edges are aligned to ``width`` multiples (the writer's layout);
         dataset shards are read *inside* the worker, so the fan-out payload
-        is one integer per task.
+        is one integer per task.  The stage's **projection** (``by`` +
+        ``time`` + ``values``) is pushed into those reads — an ``.rcs``
+        dataset maps only the consumed columns — and a ``t_begin``/``t_end``
+        **predicate** prunes whole shards via manifest zone maps before any
+        byte is read, then row-slices the survivors (both folded into the
+        cache key; results equal filtering the full read bit-for-bit).
         """
         from repro.config import SUMMIT
         from repro.parallel.partition import PartitionedDataset
 
         width = SUMMIT.coarsen_window_s if width is None else width
         is_dataset = isinstance(telemetry, PartitionedDataset)
+        projection = list(dict.fromkeys(list(by) + [time] + list(values)))
+        t_range = None
+        if t_begin is not None or t_end is not None:
+            t_range = (
+                -np.inf if t_begin is None else float(t_begin),
+                np.inf if t_end is None else float(t_end),
+            )
 
         if not self.config.fuse:
-            table = telemetry.to_table() if is_dataset else telemetry
+            if is_dataset:
+                if t_range is not None:
+                    parts = [
+                        t for t in telemetry.scan(
+                            projection, t_range[0], t_range[1], time=time
+                        ) if t.n_rows
+                    ]
+                    table = (
+                        concat(parts) if parts
+                        else telemetry.read(0, projection)[:0]
+                    )
+                else:
+                    table = telemetry.to_table(columns=projection)
+            else:
+                table = telemetry.select(projection)
+                if t_range is not None:
+                    t_col = np.asarray(table[time], dtype=np.float64)
+                    table = table.filter(
+                        (t_col >= t_range[0]) & (t_col < t_range[1])
+                    )
             coarse = self.coarsen(
                 table, values, width=width, by=by, time=time,
                 drop_nan=drop_nan, presorted=presorted,
@@ -535,29 +580,44 @@ class Pipeline:
             _CoarsenChunk(values, width, by, time, drop_nan, presorted),
             value,
             dataset=telemetry if is_dataset else None,
+            columns=projection if is_dataset else None,
+            t_range=t_range if is_dataset else None,
         )
         if is_dataset:
-            items: list = list(range(telemetry.n_partitions))
+            if t_range is not None:
+                items: list = telemetry.select_time(
+                    t_range[0], t_range[1], time=time
+                )
+            else:
+                items = list(range(telemetry.n_partitions))
             chunk_ids = items
-            rows_in = telemetry.n_rows
+            rows_in = sum(telemetry.partitions[i].n_rows for i in items)
         else:
+            work = telemetry.select(projection)
+            t = np.asarray(work[time], dtype=np.float64)
+            if t_range is not None:
+                work = work.filter((t >= t_range[0]) & (t < t_range[1]))
+                t = np.asarray(work[time], dtype=np.float64)
             eff_chunk = max(
                 width, np.floor(self.config.chunk_seconds / width) * width
             )
-            t = np.asarray(telemetry[time], dtype=np.float64)
             win = np.floor(t / eff_chunk).astype(np.int64)
             uniq = np.unique(win)
-            items = [telemetry.filter(win == k) for k in uniq]
+            items = [work.filter(win == k) for k in uniq]
             chunk_ids = [int(k) for k in uniq]
-            rows_in = telemetry.n_rows
+            rows_in = work.n_rows
 
         keys = None
         if self.cache is not None and cache_token is not None:
+            t_key = None if t_range is None else [
+                repr(float(t_range[0])), repr(float(t_range[1]))
+            ]
             keys = [
                 cache_key(
                     cache_token, stage="fused", values=list(values),
                     width=width, by=list(by), time=time, drop_nan=drop_nan,
-                    value=value, window=k,
+                    value=value, window=k, projection=projection,
+                    t_range=t_key,
                 )
                 for k in chunk_ids
             ]

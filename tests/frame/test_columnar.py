@@ -1,0 +1,309 @@
+"""The .rcs columnar shard format: roundtrips, zone maps, mmap lifetime."""
+
+import gc
+import os
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.frame import (
+    RcsFile,
+    Table,
+    load_npz,
+    load_rcs,
+    open_rcs,
+    save_npz,
+    save_rcs,
+    storage_format,
+    zone_map,
+)
+
+
+def make():
+    return Table(
+        {
+            "i": np.array([3, -2, 1, 9], dtype=np.int64),
+            "u": np.array([0, 7, 7, 255], dtype=np.uint16),
+            "f": np.array([1.5, np.nan, -2.25, 0.0]),
+            "s": np.array(["abc", "", "z9", "mm"]),
+            "b": np.array([True, False, True, True]),
+        }
+    )
+
+
+def assert_tables_identical(a: Table, b: Table):
+    assert a.columns == b.columns
+    assert a.n_rows == b.n_rows
+    for c in a.columns:
+        assert a[c].dtype == b[c].dtype, c
+        assert np.array_equal(a[c], b[c], equal_nan=a[c].dtype.kind == "f"), c
+
+
+class TestRoundtrip:
+    def test_all_dtypes(self, tmp_path):
+        t = make()
+        n = save_rcs(t, tmp_path / "t.rcs")
+        assert n == (tmp_path / "t.rcs").stat().st_size
+        assert_tables_identical(load_rcs(tmp_path / "t.rcs"), t)
+
+    def test_matches_npz_bit_for_bit(self, tmp_path):
+        t = make()
+        save_rcs(t, tmp_path / "t.rcs")
+        save_npz(t, tmp_path / "t.npz")
+        assert_tables_identical(
+            load_rcs(tmp_path / "t.rcs"), load_npz(tmp_path / "t.npz")
+        )
+
+    def test_empty_table(self, tmp_path):
+        t = Table({"a": np.empty(0, np.float64), "s": np.empty(0, "U3")})
+        save_rcs(t, tmp_path / "e.rcs")
+        out = load_rcs(tmp_path / "e.rcs")
+        assert out.n_rows == 0
+        assert out.columns == ["a", "s"]
+        assert out["s"].dtype == np.dtype("U3")
+
+    def test_big_endian_normalized(self, tmp_path):
+        t = Table({"x": np.array([1, 2, 3], dtype=">i8")})
+        save_rcs(t, tmp_path / "t.rcs")
+        out = load_rcs(tmp_path / "t.rcs")
+        assert out["x"].dtype == np.dtype("<i8")
+        assert np.array_equal(out["x"], [1, 2, 3])
+
+    def test_atomic_write(self, tmp_path):
+        t = make()
+        save_rcs(t, tmp_path / "t.rcs", atomic=True)
+        assert_tables_identical(load_rcs(tmp_path / "t.rcs"), t)
+        assert not list(tmp_path.glob(".*tmp"))
+
+
+# one column per supported dtype kind, arbitrary contents
+_ELEMENTS = {
+    "f8": st.floats(allow_infinity=True, allow_nan=True, width=64),
+    "i8": st.integers(min_value=-(2**62), max_value=2**62),
+    "u4": st.integers(min_value=0, max_value=2**32 - 1),
+    "?": st.booleans(),
+    "U8": st.text(
+        alphabet=st.characters(min_codepoint=32, max_codepoint=0x2FFF),
+        max_size=8,
+    ),
+}
+
+
+class TestRoundtripProperties:
+    @given(
+        n=st.integers(min_value=0, max_value=64),
+        data=st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_any_contents_roundtrip(self, n, data, tmp_path_factory):
+        cols = {
+            name: data.draw(hnp.arrays(np.dtype(name), n, elements=el))
+            for name, el in _ELEMENTS.items()
+        }
+        t = Table(cols)
+        root = tmp_path_factory.mktemp("rcs")
+        save_rcs(t, root / "t.rcs")
+        assert_tables_identical(load_rcs(root / "t.rcs"), t)
+
+    @given(
+        n=st.integers(min_value=1, max_value=64),
+        data=st.data(),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_projection_identical_to_full(self, n, data, tmp_path_factory):
+        cols = {
+            name: data.draw(hnp.arrays(np.dtype(name), n, elements=el))
+            for name, el in _ELEMENTS.items()
+        }
+        t = Table(cols)
+        root = tmp_path_factory.mktemp("rcs")
+        save_rcs(t, root / "t.rcs")
+        pick = data.draw(
+            st.lists(st.sampled_from(list(cols)), min_size=1, unique=True)
+        )
+        assert_tables_identical(
+            load_rcs(root / "t.rcs", pick), t.select(pick)
+        )
+
+
+class TestProjection:
+    def test_subset_and_order(self, tmp_path):
+        save_rcs(make(), tmp_path / "t.rcs")
+        out = load_rcs(tmp_path / "t.rcs", ["s", "i"])
+        assert out.columns == ["s", "i"]
+        assert_tables_identical(out, make().select(["s", "i"]))
+
+    def test_missing_column_raises(self, tmp_path):
+        save_rcs(make(), tmp_path / "t.rcs")
+        with pytest.raises(KeyError, match="nope"):
+            load_rcs(tmp_path / "t.rcs", ["nope"])
+
+    def test_reads_are_views_not_copies(self, tmp_path):
+        save_rcs(make(), tmp_path / "t.rcs")
+        out = load_rcs(tmp_path / "t.rcs", ["f"])
+        base = out["f"]
+        while not isinstance(base, np.memmap):
+            base = base.base
+            assert base is not None, "column is a fresh copy, not a view"
+        assert isinstance(base, np.memmap)
+
+
+class TestZoneMaps:
+    def test_float_ignores_nan(self):
+        z = zone_map(Table({"f": np.array([np.nan, 2.0, -1.0])}))["f"]
+        assert z["min"] == -1.0 and z["max"] == 2.0
+        assert z["nulls"] == 1
+        assert z["sorted"] is False
+
+    def test_all_nan_column(self):
+        z = zone_map(Table({"f": np.array([np.nan, np.nan])}))["f"]
+        assert z["min"] is None and z["max"] is None
+        assert z["nulls"] == 2
+
+    def test_sorted_flag(self):
+        z = zone_map(Table({"t": np.array([0.0, 1.0, 1.0, 5.0])}))["t"]
+        assert z["sorted"] is True
+        z = zone_map(Table({"t": np.array([0.0, 2.0, 1.0])}))["t"]
+        assert z["sorted"] is False
+
+    def test_string_bounds(self):
+        z = zone_map(Table({"s": np.array(["mm", "ab", "zz"])}))["s"]
+        assert z["min"] == "ab" and z["max"] == "zz"
+
+    def test_json_safe(self, tmp_path):
+        import json
+
+        json.dumps(zone_map(make()))  # must not raise
+
+    def test_persisted_in_footer(self, tmp_path):
+        save_rcs(make(), tmp_path / "t.rcs")
+        zones = open_rcs(tmp_path / "t.rcs").zones
+        assert zones == zone_map(make())
+
+
+class TestTimeRange:
+    def test_sorted_slice(self, tmp_path):
+        t = Table(
+            {
+                "timestamp": np.arange(100, dtype=np.float64),
+                "v": np.arange(100, dtype=np.float64) * 2,
+            }
+        )
+        save_rcs(t, tmp_path / "t.rcs")
+        out = open_rcs(tmp_path / "t.rcs").read_time_range(10.0, 20.0)
+        assert np.array_equal(out["timestamp"], np.arange(10.0, 20.0))
+        assert np.array_equal(out["v"], np.arange(10.0, 20.0) * 2)
+
+    def test_unsorted_mask(self, tmp_path):
+        rng = np.random.default_rng(3)
+        ts = rng.permutation(100).astype(np.float64)
+        t = Table({"timestamp": ts, "v": ts * 2})
+        save_rcs(t, tmp_path / "t.rcs")
+        out = open_rcs(tmp_path / "t.rcs").read_time_range(10.0, 20.0)
+        keep = (ts >= 10.0) & (ts < 20.0)
+        assert_tables_identical(out, t.filter(keep))
+
+    def test_missing_time_raises(self, tmp_path):
+        save_rcs(make(), tmp_path / "t.rcs")
+        with pytest.raises(KeyError, match="timestamp"):
+            open_rcs(tmp_path / "t.rcs").read_time_range(0.0, 1.0)
+
+
+class TestLifetime:
+    def test_table_survives_reader_gc(self, tmp_path):
+        save_rcs(make(), tmp_path / "t.rcs")
+        out = load_rcs(tmp_path / "t.rcs")  # RcsFile is unreachable after this
+        gc.collect()
+        assert_tables_identical(out, make())
+
+    def test_derived_table_survives_parent_gc(self, tmp_path):
+        save_rcs(make(), tmp_path / "t.rcs")
+        sub = load_rcs(tmp_path / "t.rcs")[1:3]
+        gc.collect()
+        assert np.array_equal(sub["i"], [-2, 1])
+
+    @pytest.mark.skipif(os.name != "posix", reason="POSIX unlink semantics")
+    def test_table_survives_file_unlink(self, tmp_path):
+        save_rcs(make(), tmp_path / "t.rcs")
+        out = load_rcs(tmp_path / "t.rcs")
+        os.unlink(tmp_path / "t.rcs")
+        gc.collect()
+        assert_tables_identical(out, make())
+
+    def test_owner_dropped_on_pickle(self, tmp_path):
+        save_rcs(make(), tmp_path / "t.rcs")
+        out = load_rcs(tmp_path / "t.rcs")
+        assert out.owner is not None
+        clone = pickle.loads(pickle.dumps(out))
+        assert clone.owner is None
+        assert_tables_identical(clone, out)
+
+
+class TestFormatErrors:
+    def test_truncated_file(self, tmp_path):
+        (tmp_path / "x.rcs").write_bytes(b"RC")
+        with pytest.raises(ValueError, match="too short"):
+            open_rcs(tmp_path / "x.rcs")
+
+    def test_bad_trailer(self, tmp_path):
+        save_rcs(make(), tmp_path / "t.rcs")
+        raw = (tmp_path / "t.rcs").read_bytes()
+        (tmp_path / "t.rcs").write_bytes(raw[:-4] + b"XXXX")
+        with pytest.raises(ValueError, match="trailer"):
+            open_rcs(tmp_path / "t.rcs")
+
+    def test_corrupt_footer_length(self, tmp_path):
+        import struct
+
+        save_rcs(make(), tmp_path / "t.rcs")
+        raw = (tmp_path / "t.rcs").read_bytes()
+        bad = raw[:-12] + struct.pack("<Q", 1 << 40) + raw[-4:]
+        (tmp_path / "t.rcs").write_bytes(bad)
+        with pytest.raises(ValueError, match="footer length"):
+            open_rcs(tmp_path / "t.rcs")
+
+
+class TestStorageFormat:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_STORAGE", raising=False)
+        assert storage_format() == "rcs"
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_STORAGE", "npz")
+        assert storage_format() == "npz"
+
+    def test_rejects_unknown(self, monkeypatch):
+        monkeypatch.setenv("REPRO_STORAGE", "parquet")
+        with pytest.raises(ValueError, match="REPRO_STORAGE"):
+            storage_format()
+
+
+class TestNpzProjection:
+    def test_load_columns(self, tmp_path):
+        t = make()
+        save_npz(t, tmp_path / "t.npz")
+        out = load_npz(tmp_path / "t.npz", ["f", "i"])
+        assert out.columns == ["f", "i"]
+        assert_tables_identical(out, t.select(["f", "i"]))
+
+    def test_missing_column_raises(self, tmp_path):
+        save_npz(make(), tmp_path / "t.npz")
+        with pytest.raises(KeyError, match="nope"):
+            load_npz(tmp_path / "t.npz", ["nope"])
+
+    def test_uncompressed_member_direct_read(self, tmp_path):
+        # np.savez writes ZIP_STORED members: the seek-past-header fast path
+        t = make()
+        np.savez(
+            tmp_path / "t.npz", **{c: t[c] for c in t.columns}
+        )
+        assert_tables_identical(load_npz(tmp_path / "t.npz"), t)
+
+    def test_atomic_fsync_write(self, tmp_path):
+        t = make()
+        save_npz(t, tmp_path / "t.npz", atomic=True)
+        assert_tables_identical(load_npz(tmp_path / "t.npz"), t)
+        assert not list(tmp_path.glob(".*tmp"))

@@ -84,3 +84,156 @@ class TestAccess:
 
     def test_shard_path_exists(self, ds):
         assert ds.shard_path(0).exists()
+
+
+def mixed_shard(lo, n=10):
+    return Table(
+        {
+            "timestamp": np.arange(lo, lo + n, dtype=np.float64),
+            "node": np.arange(n, dtype=np.int64) % 4,
+            "v": np.arange(n, dtype=np.float64),
+            "name": np.array([f"n{i % 3}" for i in range(n)]),
+        }
+    )
+
+
+class TestFormats:
+    @pytest.mark.parametrize("fmt", ["rcs", "npz"])
+    def test_roundtrip(self, tmp_path, fmt):
+        d = PartitionedDataset.create(tmp_path / fmt, "t")
+        d.append(mixed_shard(0.0), 0.0, 10.0, fmt=fmt)
+        assert d.partitions[0].format == fmt
+        assert d.partitions[0].filename.endswith(f".{fmt}")
+        assert d.read(0) == mixed_shard(0.0)
+
+    def test_formats_bit_identical(self, tmp_path):
+        a = PartitionedDataset.create(tmp_path / "a", "t")
+        b = PartitionedDataset.create(tmp_path / "b", "t")
+        a.append(mixed_shard(0.0), 0.0, 10.0, fmt="rcs")
+        b.append(mixed_shard(0.0), 0.0, 10.0, fmt="npz")
+        ta, tb = a.read(0), b.read(0)
+        assert ta.columns == tb.columns
+        for c in ta.columns:
+            assert ta[c].dtype == tb[c].dtype
+            assert np.array_equal(ta[c], tb[c])
+
+    def test_env_knob_selects_format(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STORAGE", "npz")
+        d = PartitionedDataset.create(tmp_path / "env", "t")
+        d.append(mixed_shard(0.0), 0.0, 10.0)
+        assert d.partitions[0].format == "npz"
+
+    def test_reopen_keeps_format_and_zone(self, tmp_path):
+        d = PartitionedDataset.create(tmp_path / "z", "t")
+        d.append(mixed_shard(0.0), 0.0, 10.0, fmt="rcs")
+        again = PartitionedDataset(d.root)
+        assert again.partitions[0].format == "rcs"
+        assert again.partitions[0].zone["timestamp"]["sorted"] is True
+        assert again.partitions[0].zone["v"]["max"] == 9.0
+
+    def test_pre_columnar_manifest_still_opens(self, tmp_path):
+        """Manifests written before format/zone existed must still load."""
+        import json
+
+        from repro.frame.io import save_npz
+
+        root = tmp_path / "old"
+        root.mkdir()
+        t = mixed_shard(0.0)
+        n = save_npz(t, root / "part-00000.npz")
+        (root / "manifest.json").write_text(json.dumps({
+            "name": "old",
+            "partitions": [{
+                "index": 0, "filename": "part-00000.npz",
+                "t_begin": 0.0, "t_end": 10.0,
+                "n_rows": 10, "n_bytes": n,
+            }],
+        }))
+        d = PartitionedDataset(root)
+        assert d.column_names is None
+        assert d.read(0) == t
+        assert d.select_time(0.0, 5.0) == [0]
+        got = d.read_time_range(0, 2.0, 5.0)
+        assert np.array_equal(got["timestamp"], [2.0, 3.0, 4.0])
+
+
+class TestProjectionPushdown:
+    @pytest.mark.parametrize("fmt", ["rcs", "npz"])
+    def test_read_projected(self, tmp_path, fmt):
+        d = PartitionedDataset.create(tmp_path / fmt, "t")
+        d.append(mixed_shard(0.0), 0.0, 10.0, fmt=fmt)
+        got = d.read(0, columns=["v", "timestamp"])
+        assert got.columns == ["v", "timestamp"]
+        full = d.read(0)
+        for c in got.columns:
+            assert np.array_equal(got[c], full[c])
+
+    def test_column_names_from_zone(self, ds):
+        assert ds.column_names == ["timestamp", "v"]
+
+    @pytest.mark.parametrize("fmt", ["rcs", "npz"])
+    def test_to_table_projected(self, tmp_path, fmt):
+        d = PartitionedDataset.create(tmp_path / fmt, "t")
+        d.append(mixed_shard(0.0), 0.0, 10.0, fmt=fmt)
+        d.append(mixed_shard(10.0), 10.0, 20.0, fmt=fmt)
+        got = d.to_table(columns=["node"])
+        assert got.columns == ["node"]
+        assert got.n_rows == 20
+
+
+class TestPredicatePushdown:
+    @pytest.mark.parametrize("fmt", ["rcs", "npz"])
+    def test_read_time_range_sorted(self, tmp_path, fmt):
+        d = PartitionedDataset.create(tmp_path / fmt, "t")
+        d.append(mixed_shard(0.0), 0.0, 10.0, fmt=fmt)
+        got = d.read_time_range(0, 3.0, 7.0, columns=["v"])
+        assert got.columns == ["v"]
+        assert np.array_equal(got["v"], [3.0, 4.0, 5.0, 6.0])
+
+    @pytest.mark.parametrize("fmt", ["rcs", "npz"])
+    def test_read_time_range_unsorted_mask(self, tmp_path, fmt):
+        rng = np.random.default_rng(0)
+        ts = rng.permutation(10).astype(np.float64)
+        t = Table({"timestamp": ts, "v": ts * 3})
+        d = PartitionedDataset.create(tmp_path / fmt, "t")
+        d.append(t, 0.0, 10.0, fmt=fmt)
+        assert d.partitions[0].zone["timestamp"]["sorted"] is False
+        got = d.read_time_range(0, 3.0, 7.0)
+        keep = (ts >= 3.0) & (ts < 7.0)
+        assert np.array_equal(got["v"], t.filter(keep)["v"])
+
+    def test_select_time_zone_tighter_than_extent(self, tmp_path):
+        # shard declared for [0, 100) but data only spans [0, 10): a probe
+        # of [50, 60) must prune it via the zone map
+        d = PartitionedDataset.create(tmp_path / "t", "t")
+        d.append(mixed_shard(0.0), 0.0, 100.0, fmt="rcs")
+        assert d.select_time(50.0, 60.0) == []
+        assert d.select_time(5.0, 60.0) == [0]
+
+    def test_select_time_skips_empty_shard(self, tmp_path):
+        d = PartitionedDataset.create(tmp_path / "t", "t")
+        d.append(mixed_shard(0.0)[:0], 0.0, 10.0, fmt="rcs")
+        d.append(mixed_shard(10.0), 10.0, 20.0, fmt="rcs")
+        assert d.select_time(0.0, 30.0) == [1]
+
+    def test_select_where(self, tmp_path):
+        d = PartitionedDataset.create(tmp_path / "t", "t")
+        d.append(mixed_shard(0.0), 0.0, 10.0, fmt="rcs")    # v in [0, 9]
+        d.append(mixed_shard(10.0), 10.0, 20.0, fmt="rcs")  # v in [0, 9]
+        assert d.select_where("v", 0.0, 5.0) == [0, 1]
+        assert d.select_where("v", 50.0, 60.0) == []
+        assert d.select_where("node", 3, 3) == [0, 1]
+
+    def test_scan_equals_filtered_full_read(self, tmp_path):
+        from repro.frame.table import concat
+
+        d = PartitionedDataset.create(tmp_path / "t", "t")
+        for lo in (0.0, 10.0, 20.0):
+            d.append(mixed_shard(lo), lo, lo + 10.0, fmt="rcs")
+        got = concat(list(d.scan(["timestamp", "v"], 5.0, 25.0)))
+        full = d.to_table()
+        t = full["timestamp"]
+        want = full.filter((t >= 5.0) & (t < 25.0)).select(["timestamp", "v"])
+        assert got.columns == want.columns
+        for c in want.columns:
+            assert np.array_equal(got[c], want[c])

@@ -169,3 +169,82 @@ class TestExecutorIntegration:
         for a, b in zip(items, out):
             assert np.array_equal(b["power"], a["power"] * 2.0)
         assert segment_names() == before
+
+
+class TestMmapTransport:
+    """Tables backed by .rcs mmaps ship by path, not by copy."""
+
+    @staticmethod
+    def rcs_table(tmp_path, name="t.rcs", columns=None, rows=None):
+        from repro.frame.columnar import open_rcs, save_rcs
+
+        p = tmp_path / name
+        if not p.exists():
+            save_rcs(big_table(n=2_000), p)
+        return open_rcs(p).read(columns, rows=rows)
+
+    def test_plain_table_not_mmap(self):
+        from repro.parallel import mmap_ref
+
+        assert mmap_ref(big_table(n=100)) is None
+
+    def test_ref_roundtrip(self, tmp_path):
+        from repro.parallel import MmapTableRef, attach_mmap, mmap_ref
+
+        t = self.rcs_table(tmp_path)
+        ref = mmap_ref(t)
+        assert isinstance(ref, MmapTableRef)
+        assert ref.n_rows == t.n_rows
+        out = attach_mmap(ref)
+        assert out.columns == t.columns
+        for c in t.columns:
+            assert out[c].dtype == t[c].dtype
+            assert np.array_equal(out[c], t[c])
+
+    def test_projected_and_sliced_views_roundtrip(self, tmp_path):
+        from repro.parallel import attach_mmap, mmap_ref
+
+        t = self.rcs_table(tmp_path, columns=["power", "node"],
+                           rows=slice(100, 900))
+        ref = mmap_ref(t)
+        assert ref is not None
+        out = attach_mmap(ref)
+        assert np.array_equal(out["power"], t["power"])
+        assert np.array_equal(out["node"], t["node"])
+
+    def test_wrap_item_prefers_mmap(self, tmp_path):
+        from repro.parallel import MmapTableRef
+        from repro.parallel.shm import unwrap_item, wrap_item
+
+        t = self.rcs_table(tmp_path)
+        owned: list = []
+        wrapped = wrap_item(t, owned)
+        assert isinstance(wrapped, MmapTableRef)
+        assert owned == []  # nothing copied, nothing to clean up
+        (out, handles) = unwrap_item(wrapped)
+        assert handles == []
+        assert np.array_equal(out["power"], t["power"])
+
+    def test_masked_rows_fall_back_to_shm(self, tmp_path):
+        # a boolean-mask filter materializes fresh arrays: no common mmap
+        from repro.parallel import mmap_ref
+
+        t = self.rcs_table(tmp_path)
+        masked = t.filter(np.arange(t.n_rows) % 2 == 0)
+        assert mmap_ref(masked) is None
+
+    def test_process_map_over_rcs_tables(self, tmp_path):
+        items = [
+            self.rcs_table(tmp_path, name=f"s{i}.rcs") for i in range(3)
+        ]
+        before = segment_names()
+        serial = Executor(backend="serial").map(double_power, items)
+        proc = Executor(backend="processes", max_workers=2).map(
+            double_power, items
+        )
+        for a, b in zip(serial, proc):
+            assert a.columns == b.columns
+            for c in a.columns:
+                assert np.array_equal(a[c], b[c])
+        # mmap transport creates no shared-memory segments for the items
+        assert segment_names() == before

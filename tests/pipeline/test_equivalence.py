@@ -270,3 +270,154 @@ class TestExportEquivalence:
         ref = _tree_digest(ref_root)
         got = _tree_digest(got_root)
         assert got == ref
+
+
+class TestPushdownEquivalence:
+    """Projection + predicate pushdown never changes a bit.
+
+    rcs == npz, projected == full, pruned == filtered — across backends,
+    fuse on/off, cache cold/warm.
+    """
+
+    WIDTH = 10.0
+    SHARD_S = 900.0
+
+    @staticmethod
+    def build_dataset(telemetry, root, fmt):
+        from repro.parallel.partition import PartitionedDataset
+
+        ds = PartitionedDataset.create(root, "telemetry")
+        t = telemetry["timestamp"]
+        for lo in np.arange(0.0, float(t.max()) + 1.0, 900.0):
+            sub = telemetry.filter((t >= lo) & (t < lo + 900.0))
+            ds.append(sub, lo, lo + 900.0, fmt=fmt)
+        return ds
+
+    @pytest.fixture(scope="class")
+    def datasets(self, telemetry, tmp_path_factory):
+        root = tmp_path_factory.mktemp("push")
+        return {
+            fmt: self.build_dataset(telemetry, root / fmt, fmt)
+            for fmt in ("rcs", "npz")
+        }
+
+    @pytest.fixture(scope="class")
+    def single_pass(self, telemetry):
+        return cluster_power_series(
+            coarsen_telemetry(telemetry, ["input_power"], width=self.WIDTH)
+        )
+
+    @pytest.mark.parametrize("fmt", ["rcs", "npz"])
+    @pytest.mark.parametrize("backend", ["serial", "threads", "processes"])
+    @pytest.mark.parametrize("fuse", [True, False])
+    def test_formats_and_backends(self, twin_small, datasets, single_pass,
+                                  fmt, backend, fuse):
+        pipe = Pipeline(twin_small, PipelineConfig(
+            chunk_seconds=self.SHARD_S, backend=backend, max_workers=2,
+            fuse=fuse))
+        got = pipe.telemetry_series(datasets[fmt], ["input_power"])
+        assert_tables_equal(got, single_pass)
+
+    @pytest.mark.parametrize("fmt", ["rcs", "npz"])
+    @pytest.mark.parametrize("fuse", [True, False])
+    def test_time_range_equals_filtered_full_read(self, twin_small, telemetry,
+                                                  datasets, fmt, fuse):
+        # range aligned to shard and coarsen-window edges: pruned reads must
+        # reproduce exactly what filtering the full read would have given
+        t0, t1 = self.SHARD_S, 3 * self.SHARD_S
+        t = telemetry["timestamp"]
+        ref = cluster_power_series(coarsen_telemetry(
+            telemetry.filter((t >= t0) & (t < t1)), ["input_power"],
+            width=self.WIDTH,
+        ))
+        pipe = Pipeline(twin_small, PipelineConfig(
+            chunk_seconds=self.SHARD_S, backend="serial", fuse=fuse))
+        got = pipe.telemetry_series(datasets[fmt], ["input_power"],
+                                    t_begin=t0, t_end=t1)
+        assert_tables_equal(got, ref)
+
+    def test_time_range_on_table_source(self, twin_small, telemetry):
+        t0, t1 = self.SHARD_S, 3 * self.SHARD_S
+        t = telemetry["timestamp"]
+        ref = cluster_power_series(coarsen_telemetry(
+            telemetry.filter((t >= t0) & (t < t1)), ["input_power"],
+            width=self.WIDTH,
+        ))
+        pipe = Pipeline(twin_small, PipelineConfig(
+            chunk_seconds=self.SHARD_S, backend="serial", fuse=True))
+        got = pipe.telemetry_series(telemetry, ["input_power"],
+                                    t_begin=t0, t_end=t1)
+        assert_tables_equal(got, ref)
+
+    def test_predicate_prunes_shards_before_read(self, twin_small, datasets):
+        ds = datasets["rcs"]
+        pipe = Pipeline(twin_small, PipelineConfig(
+            chunk_seconds=self.SHARD_S, backend="serial", fuse=True))
+        pipe.telemetry_series(ds, ["input_power"],
+                              t_begin=self.SHARD_S, t_end=3 * self.SHARD_S)
+        # zone maps admit the two in-range shards plus the one holding the
+        # 0-5 s collector-delay spillover at the range edge — the rest of
+        # the dataset is never opened
+        assert pipe.stats.stage("fused/read").calls < ds.n_partitions
+        assert pipe.stats.stage("fused/read").calls <= 3
+
+    @pytest.mark.parametrize("fmt", ["rcs", "npz"])
+    def test_dataset_cache_cold_then_warm(self, twin_small, datasets,
+                                          single_pass, tmp_path, fmt):
+        cfg = PipelineConfig(chunk_seconds=self.SHARD_S, backend="serial",
+                             fuse=True, cache_dir=tmp_path / "cache")
+        cold = Pipeline(twin_small, cfg)
+        assert_tables_equal(
+            cold.telemetry_series(datasets[fmt], ["input_power"],
+                                  cache_token=f"tel-{fmt}"),
+            single_pass,
+        )
+        assert cold.stats.stage("fused").cache_misses > 0
+        warm = Pipeline(twin_small, cfg)
+        assert_tables_equal(
+            warm.telemetry_series(datasets[fmt], ["input_power"],
+                                  cache_token=f"tel-{fmt}"),
+            single_pass,
+        )
+        assert warm.stats.stage("fused").cache_misses == 0
+
+    def test_time_range_addresses_different_cache_entries(self, twin_small,
+                                                          telemetry, datasets,
+                                                          tmp_path):
+        # a pruned run must never serve (or poison) the full run's artifacts
+        cfg = PipelineConfig(chunk_seconds=self.SHARD_S, backend="serial",
+                             fuse=True, cache_dir=tmp_path / "cache")
+        ds = datasets["rcs"]
+        full = Pipeline(twin_small, cfg).telemetry_series(
+            ds, ["input_power"], cache_token="tok")
+        pruned_pipe = Pipeline(twin_small, cfg)
+        pruned = pruned_pipe.telemetry_series(
+            ds, ["input_power"], cache_token="tok",
+            t_begin=self.SHARD_S, t_end=3 * self.SHARD_S)
+        assert pruned_pipe.stats.stage("fused").cache_hits == 0
+        t0, t1 = self.SHARD_S, 3 * self.SHARD_S
+        t = telemetry["timestamp"]
+        ref = cluster_power_series(coarsen_telemetry(
+            telemetry.filter((t >= t0) & (t < t1)), ["input_power"],
+            width=self.WIDTH,
+        ))
+        assert_tables_equal(pruned, ref)
+        ts = full["timestamp"]
+        assert_tables_equal(
+            full.filter((ts >= t0) & (ts < t1)), ref
+        )
+
+    def test_coarsen_accepts_dataset(self, datasets, telemetry):
+        ref = coarsen_telemetry(telemetry, ["input_power"], width=self.WIDTH)
+        got = coarsen_telemetry(datasets["rcs"], ["input_power"],
+                                width=self.WIDTH)
+        assert_tables_equal(got.sort(["node", "timestamp"]),
+                            ref.sort(["node", "timestamp"]))
+
+    def test_aggregate_accepts_dataset(self, coarse, tmp_path):
+        from repro.datasets.store import write_partitioned_series
+
+        ds = write_partitioned_series(
+            coarse.sort("timestamp"), tmp_path, "coarse", day_s=900.0)
+        ref = cluster_power_series(coarse)
+        assert_tables_equal(cluster_power_series(ds), ref)

@@ -108,6 +108,10 @@ SPECS: dict[str, list] = {
         Exact("bit-identical", r"all variants bit-identical: \w+"),
         Exact("kernel table present", r"(?m)^sorted-path\b"),
     ],
+    "io_throughput": [
+        Exact("bit-identical", r"all reads bit-identical: \w+"),
+        Exact("zone-pruned shards", r"zone-map pruned shards: \d+/\d+"),
+    ],
     "stream_throughput": [
         Exact("replayed rows", r"replayed rows: (\d+)"),
         Exact("bit-identical to batch", r"streaming == batch: (\w+)"),
