@@ -23,6 +23,18 @@ bit-identical output from the same on-disk dataset:
 Every variant's output is asserted **bit-identical** to the single-pass
 baseline's; the kernel microbenchmark below the main table does the same on
 one day of 100-node telemetry (the paper-scale unit the ISSUE anchors to).
+
+Process-backend overhead note (profiled on the reference 1-core CI box):
+the fixed costs are small — forking a 4-worker pool costs ~20 ms and the
+shared-memory transport ~30 ms for all 8 shards — so nearly all of the
+processes-vs-threads gap is *oversubscription*: four forked workers
+time-slicing one core while the GIL-releasing numpy kernels would already
+saturate it from a single thread, plus copy-on-write faults as each worker
+touches the forked parent heap.  That cost is intrinsic to the box, not a
+transport regression, so instead of "fixing" it the bench pins the ratio:
+``t_procs <= PROC_OVERHEAD_BUDGET * t_threads`` (golden ratio ~2.2x).  A
+silent transport regression — say, results falling off the shm path onto
+the pickle pipe — would blow the budget and fail the anchor.
 """
 
 import time
@@ -37,6 +49,11 @@ from repro.frame.table import Table, concat
 from repro.frame.window import window_aggregate
 from repro.parallel import Executor, PartitionedDataset, grouped_aggregate, map_partitions
 from repro.pipeline import Pipeline, PipelineConfig
+
+# Regression budget for the process backend relative to threads on the same
+# workload (see the overhead note in the module docstring).  The golden run
+# sits near 2.2x; the slack covers scheduler jitter, not a slower transport.
+PROC_OVERHEAD_BUDGET = 2.5
 
 
 def _coarsen_shard(table: Table) -> Table:
@@ -181,14 +198,25 @@ def test_pipeline_scaling(benchmark, twin_day, tmp_path):
         ],
         title=f"window_aggregate kernels, 1 day x 100 nodes (scale {SCALE:g})",
     )
+    proc_ratio = t_procs / t_threads
     emit("pipeline_scaling",
-         main + "\nall variants bit-identical: yes\n\n" + kernel)
+         main
+         + "\nall variants bit-identical: yes"
+         + f"\nprocesses/threads ratio: {proc_ratio:.2f}x"
+         f" (budget {PROC_OVERHEAD_BUDGET:.1f}x)\n\n"
+         + kernel)
 
     # the distributed aggregate covers every node
     assert agg.n_rows == twin_day.config.n_nodes
     # threads should not be drastically slower than serial (GIL released);
     # speedups depend on the box, so only guard against pathology
     assert t_threads < 2.0 * t_serial
+    # pin the process-backend overhead (docstring note): the fixed costs
+    # are tens of ms, so only a transport regression can blow this budget
+    anchor(t_procs <= PROC_OVERHEAD_BUDGET * t_threads,
+           f"process-backend overhead ratio {proc_ratio:.2f}x exceeds "
+           f"budget {PROC_OVERHEAD_BUDGET:.1f}x "
+           f"({t_procs:.3f}s vs {t_threads:.3f}s threads)")
     # ISSUE X3 anchors (hard at full scale, advisory below it): the sorted
     # kernel halves the generic one on the paper-scale unit, and the fused
     # process pipeline halves the single-pass serial reference end to end

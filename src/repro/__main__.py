@@ -14,6 +14,10 @@ Commands
     accounting, and the streamed analysis summary.
 ``spec``
     Print the Summit system specification from the model (Table 1).
+``compact``
+    Merge a partitioned dataset's small appended shards into larger
+    sorted ones (rebuilding zone maps and compressed encodings) and
+    print before/after shard counts and bytes.
 """
 
 from __future__ import annotations
@@ -108,10 +112,14 @@ def cmd_export(args) -> int:
     inv = pipe.export(args.output)
     print(f"exported to {args.output}")
     for k, v in inv.items():
-        if k != "on_disk_bytes":
+        if k not in ("on_disk_bytes", "encodings"):
             print(f"  {k}: {v:,}")
     for name, size in inv.get("on_disk_bytes", {}).items():
         print(f"  {name}: {size:,} bytes")
+    enc = inv.get("encodings")
+    if enc:
+        print("  column encodings: "
+              + ", ".join(f"{c}: {n}" for c, n in sorted(enc.items())))
     _maybe_print_stats(args, pipe)
     return 0
 
@@ -168,6 +176,24 @@ def cmd_stream(args) -> int:
     if spectral is not None and int(spectral["n_segments"][0]) > 0:
         print(f"dominant mode: {float(spectral['fft_freq_hz'][0]):.4f} Hz "
               f"over {int(spectral['n_segments'][0])} Welch segments")
+    return 0
+
+
+def cmd_compact(args) -> int:
+    from repro.parallel.partition import PartitionedDataset
+
+    ds = PartitionedDataset(args.dataset)
+    stats = ds.compact(target_rows=args.target_rows, time=args.time)
+    before = stats["before"]
+    print(f"compacted {ds.name}: "
+          f"{before['n_partitions']} -> {stats['n_partitions']} shards, "
+          f"{before['n_bytes']:,} -> {stats['n_bytes']:,} bytes "
+          f"({stats['rewritten']} rewritten, "
+          f"generation {stats['generation']})")
+    summary = ", ".join(
+        f"{codec}: {n}" for codec, n in sorted(ds.encoding_summary().items())
+    )
+    print(f"column encodings: {summary}")
     return 0
 
 
@@ -229,6 +255,16 @@ def main(argv: list[str] | None = None) -> int:
 
     p_spec = sub.add_parser("spec", help="print the Table 1 system spec")
     p_spec.set_defaults(fn=cmd_spec)
+
+    p_cmp = sub.add_parser(
+        "compact", help="merge a dataset's small shards into sorted ones"
+    )
+    p_cmp.add_argument("dataset", help="dataset directory (holds manifest.json)")
+    p_cmp.add_argument("--target-rows", type=int, default=None,
+                       help="rows per merged shard (default: largest shard)")
+    p_cmp.add_argument("--time", default="timestamp",
+                       help="time column to re-sort by")
+    p_cmp.set_defaults(fn=cmd_compact)
 
     args = parser.parse_args(argv)
     return args.fn(args)

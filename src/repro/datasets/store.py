@@ -124,6 +124,7 @@ def dataset_inventory(twin, root: str | Path | None = None) -> dict[str, object]
     if root is not None:
         root = Path(root)
         sizes = {}
+        encodings: dict[str, int] = {}
         for name in ("allocations.csv", "node_allocations.csv", "xid_log.csv"):
             p = root / name
             if p.exists():
@@ -131,6 +132,11 @@ def dataset_inventory(twin, root: str | Path | None = None) -> dict[str, object]
         for name in ("job_series", "cluster_power"):
             d = root / name
             if (d / "manifest.json").exists():
-                sizes[name] = PartitionedDataset(d).n_bytes
+                ds = PartitionedDataset(d)
+                sizes[name] = ds.n_bytes
+                for codec, n in ds.encoding_summary().items():
+                    encodings[codec] = encodings.get(codec, 0) + n
         inv["on_disk_bytes"] = sizes
+        # column-codec census across the partitioned stores (manifest-only)
+        inv["encodings"] = encodings
     return inv

@@ -35,6 +35,13 @@ from repro.frame.columnar import (
     zone_map,
     storage_format,
 )
+from repro.frame.encodings import (
+    CODECS,
+    ColumnarFormatError,
+    compression_mode,
+    decode_column,
+    encode_column,
+)
 
 __all__ = [
     "Table",
@@ -65,4 +72,9 @@ __all__ = [
     "load_rcs",
     "zone_map",
     "storage_format",
+    "CODECS",
+    "ColumnarFormatError",
+    "compression_mode",
+    "decode_column",
+    "encode_column",
 ]

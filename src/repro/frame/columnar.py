@@ -2,30 +2,45 @@
 
 Layout of a *Repro Columnar Shard* file::
 
-    +--------+----------------+----------------+-----+--------+--------+-------+
-    | "RCS1" | column 0 bytes | column 1 bytes | ... | footer | u64 len| "RCS1"|
-    +--------+----------------+----------------+-----+--------+--------+-------+
+    +--------+----------------+----------------+-----+--------+-------+--------+-------+
+    | magic  | column 0 bytes | column 1 bytes | ... | footer | crc32 | u64 len| magic |
+    +--------+----------------+----------------+-----+--------+-------+--------+-------+
 
-Each column is the raw little-endian buffer of one contiguous 1-D numpy
-array, padded to a 64-byte boundary so every mapped view is cache-line
-aligned.  The footer is JSON holding, per column: name, dtype, byte offset,
-byte length, and a **zone map** (min / max / null count / sorted flag) —
-plus the row count.  The trailing ``(length, magic)`` pair lets a reader
-find the footer by seeking from the end, parquet-style, without scanning
-the data blocks.
+Each column is either the raw little-endian buffer of one contiguous 1-D
+numpy array, padded to a 64-byte boundary so every mapped view is
+cache-line aligned, or (version 2) a **compressed encoding** of it —
+delta/zigzag/varint for sorted integer-like columns, quantized-delta and
+XOR-shuffle for floats, dictionary coding for low-cardinality keys, and
+optional zstd/zlib framing (see :mod:`repro.frame.encodings`).  The footer
+is JSON holding, per column: name, dtype, byte offset, byte length, a
+**zone map** (min / max / null count / sorted flag), and — for encoded
+columns — the self-describing ``enc`` record (codec, parameters, payload
+CRC) that drives decode.  The trailing ``(crc, length, magic)`` tuple lets
+a reader find and *verify* the footer by seeking from the end,
+parquet-style, without scanning the data blocks.  Version 1 files (no
+compression, no footer CRC) still open and read unchanged.
 
 Reads go through ``numpy.memmap``: :meth:`RcsFile.read` returns a
-:class:`~repro.frame.table.Table` whose columns are **views** over the
+:class:`~repro.frame.table.Table` whose **raw** columns are views over the
 mapped file — no bytes are copied, and a two-column projection of a
-hundred-column shard maps (at most) two columns' pages.  Lifetime is
-handled twice over: every view's ``base`` chain pins the mapping, and the
-table additionally retains the :class:`RcsFile` via
-:meth:`~repro.frame.table.Table.retain` — so the table stays valid after
-the reader (or the owning dataset) is garbage collected, and, on POSIX,
-after the file itself is unlinked.
+hundred-column shard maps (at most) two columns' pages.  **Encoded**
+columns are decoded into fresh process-local arrays (cached per reader, so
+a time-range probe never decodes the time column twice) and decode fans
+out over a small thread pool on multi-core machines — zlib inflation
+releases the GIL.  Lifetime of the raw views is handled twice over: every
+view's ``base`` chain pins the mapping, and the table additionally retains
+the :class:`RcsFile` via :meth:`~repro.frame.table.Table.retain`.
+
+Anything structurally wrong — truncated file, flipped footer byte, codec
+payload CRC mismatch, out-of-range dictionary code, impossible column
+extent — raises :class:`~repro.frame.encodings.ColumnarFormatError`
+(a ``ValueError``), never a crash or silently wrong data.
 
 ``REPRO_STORAGE`` selects the shard format dataset writers use (``rcs``,
-the default, or ``npz`` for the compressed fallback reader).
+the default, or ``npz`` for the compressed fallback reader);
+``REPRO_RCS_COMPRESSION=off`` pins ``.rcs`` writes to the raw version 1
+byte layout's all-raw columns (still a version 2 container).  Both
+fallbacks read back bit-identical tables.
 """
 
 from __future__ import annotations
@@ -33,25 +48,38 @@ from __future__ import annotations
 import json
 import os
 import struct
+import zlib
+from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 
 import numpy as np
 
+from repro.frame.encodings import (
+    CODECS,
+    ColumnarFormatError,
+    compression_mode,
+    decode_column,
+    encode_column,
+)
 from repro.frame.table import Table
 
 __all__ = [
     "RCS_MAGIC",
+    "RCS_MAGIC2",
     "RCS_VERSION",
+    "ColumnarFormatError",
     "RcsFile",
     "save_rcs",
     "open_rcs",
     "load_rcs",
     "zone_map",
     "storage_format",
+    "compression_mode",
 ]
 
 RCS_MAGIC = b"RCS1"
-RCS_VERSION = 1
+RCS_MAGIC2 = b"RCS2"
+RCS_VERSION = 2
 
 #: column buffers start on 64-byte boundaries (cache-line aligned views)
 _ALIGN = 64
@@ -132,38 +160,49 @@ def save_rcs(
     path: str | os.PathLike,
     atomic: bool = False,
     zones: dict[str, dict] | None = None,
+    compression: str | None = None,
 ) -> int:
     """Write ``table`` as an ``.rcs`` shard; returns bytes on disk.
 
     Columns are written as raw little-endian buffers (non-native byte
-    order is normalized); ``zones`` lets a caller that already computed
-    :func:`zone_map` skip the second pass.  With ``atomic`` the shard is
-    written to a same-directory temp file, fsynced, and renamed into
-    place, so concurrent readers never observe a torn shard.
+    order is normalized) or, under ``compression`` mode ``auto`` (the
+    default, overridable via ``REPRO_RCS_COMPRESSION``), as the smallest
+    applicable codec from :mod:`repro.frame.encodings` — recorded
+    per-column in the footer so decode is self-describing.  A column no
+    codec shrinks stays raw and keeps its zero-copy read path.  ``zones``
+    lets a caller that already computed :func:`zone_map` skip the second
+    pass.  With ``atomic`` the shard is written to a same-directory temp
+    file, fsynced, and renamed into place, so concurrent readers never
+    observe a torn shard.
     """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     if zones is None:
         zones = zone_map(table)
+    mode = compression_mode() if compression is None else compression
+    if mode not in ("auto", "off"):
+        raise ValueError(
+            f"compression must be 'auto' or 'off', got {mode!r}"
+        )
 
     cols_meta: list[dict] = []
-    buffers: list[np.ndarray] = []
-    offset = len(RCS_MAGIC) + _pad(len(RCS_MAGIC))
+    buffers: list[bytes] = []
+    offset = len(RCS_MAGIC2) + _pad(len(RCS_MAGIC2))
     for name in table.columns:
         col = np.ascontiguousarray(table[name])
         if col.dtype.byteorder == ">":  # normalize to little-endian
             col = col.astype(col.dtype.newbyteorder("<"))
-        buffers.append(col)
-        cols_meta.append(
-            {
-                "name": name,
-                "dtype": col.dtype.str,
-                "offset": offset,
-                "nbytes": int(col.nbytes),
-                "zone": zones[name],
-            }
-        )
-        offset += int(col.nbytes) + _pad(int(col.nbytes))
+        encoded = encode_column(col, mode=mode)
+        meta = {"name": name, "dtype": col.dtype.str, "offset": offset,
+                "zone": zones[name]}
+        if encoded is None:
+            payload = col.tobytes()
+        else:
+            meta["enc"], payload = encoded
+        meta["nbytes"] = len(payload)
+        buffers.append(payload)
+        cols_meta.append(meta)
+        offset += len(payload) + _pad(len(payload))
 
     footer = json.dumps(
         {"version": RCS_VERSION, "n_rows": table.n_rows, "columns": cols_meta},
@@ -171,14 +210,15 @@ def save_rcs(
     ).encode()
 
     def _write(f) -> None:
-        f.write(RCS_MAGIC)
-        f.write(b"\0" * _pad(len(RCS_MAGIC)))
-        for col, meta in zip(buffers, cols_meta):
-            f.write(col.tobytes())
-            f.write(b"\0" * _pad(meta["nbytes"]))
+        f.write(RCS_MAGIC2)
+        f.write(b"\0" * _pad(len(RCS_MAGIC2)))
+        for payload in buffers:
+            f.write(payload)
+            f.write(b"\0" * _pad(len(payload)))
         f.write(footer)
+        f.write(struct.pack("<I", zlib.crc32(footer) & 0xFFFFFFFF))
         f.write(struct.pack("<Q", len(footer)))
-        f.write(RCS_MAGIC)
+        f.write(RCS_MAGIC2)
 
     if not atomic:
         with open(path, "wb") as f:
@@ -197,13 +237,29 @@ def save_rcs(
     return path.stat().st_size
 
 
-class RcsFile:
-    """A readable ``.rcs`` shard: parsed footer + lazily mapped data.
+def _decode_workers(n_encoded: int) -> int:
+    """Thread-pool width for decoding one read's encoded columns."""
+    cap = os.environ.get("REPRO_MAX_WORKERS")
+    workers = os.cpu_count() or 1
+    if cap:
+        try:
+            workers = min(workers, max(1, int(cap)))
+        except ValueError:
+            pass
+    return max(1, min(workers, n_encoded))
 
-    Opening parses only the footer (two small reads from the file tail);
-    the data region is mapped on the first :meth:`read`.  Every table a
-    reader hands out pins the mapping through its column views *and* via
-    :meth:`Table.retain`, so the file object itself can be dropped freely.
+
+class RcsFile:
+    """A readable ``.rcs`` shard: parsed + verified footer, lazily mapped data.
+
+    Opening parses only the footer (two small reads from the file tail),
+    verifies its CRC (version 2) and validates every structural claim —
+    column extents inside the data region, parsable dtypes, raw byte
+    counts consistent with the row count, known codecs.  The data region
+    is mapped on the first :meth:`read`.  Raw columns come back as
+    zero-copy views pinned by their ``base`` chains and
+    :meth:`Table.retain`; encoded columns are decoded once per reader
+    (cached) into ordinary arrays.
     """
 
     def __init__(self, path: str | os.PathLike):
@@ -211,28 +267,111 @@ class RcsFile:
         with open(self.path, "rb") as f:
             f.seek(0, os.SEEK_END)
             size = f.tell()
-            tail = len(RCS_MAGIC) + 8
-            if size < len(RCS_MAGIC) + tail:
-                raise ValueError(f"not an RCS file (too short): {self.path}")
+            magic_len = len(RCS_MAGIC)
+            if size < magic_len * 2 + 8:
+                raise ColumnarFormatError(
+                    f"not an RCS file (too short): {self.path}"
+                )
+            f.seek(size - magic_len)
+            magic = f.read(magic_len)
+            if magic == RCS_MAGIC:
+                tail = magic_len + 8          # v1 trailer: (len, magic)
+                footer_crc = None
+            elif magic == RCS_MAGIC2:
+                tail = magic_len + 8 + 4      # v2 trailer: (crc, len, magic)
+            else:
+                raise ColumnarFormatError(
+                    f"bad RCS trailer magic in {self.path}"
+                )
+            if size < magic_len + tail:
+                raise ColumnarFormatError(
+                    f"not an RCS file (too short): {self.path}"
+                )
             f.seek(size - tail)
-            length, magic = struct.unpack(f"<Q{len(RCS_MAGIC)}s", f.read(tail))
-            if magic != RCS_MAGIC:
-                raise ValueError(f"bad RCS trailer magic in {self.path}")
-            if length > size - tail - len(RCS_MAGIC):
-                raise ValueError(f"corrupt RCS footer length in {self.path}")
+            if magic == RCS_MAGIC:
+                (length,) = struct.unpack("<Q", f.read(8))
+            else:
+                footer_crc, length = struct.unpack("<IQ", f.read(12))
+            if length > size - tail - magic_len:
+                raise ColumnarFormatError(
+                    f"corrupt RCS footer length in {self.path}"
+                )
             f.seek(size - tail - length)
-            footer = json.loads(f.read(length))
+            raw_footer = f.read(length)
+            if footer_crc is not None and (
+                zlib.crc32(raw_footer) & 0xFFFFFFFF
+            ) != footer_crc:
+                raise ColumnarFormatError(
+                    f"RCS footer CRC mismatch in {self.path} "
+                    "(corrupt or truncated footer)"
+                )
+            try:
+                footer = json.loads(raw_footer)
+            except ValueError as exc:
+                raise ColumnarFormatError(
+                    f"corrupt RCS footer JSON in {self.path}: {exc}"
+                ) from exc
             f.seek(0)
-            if f.read(len(RCS_MAGIC)) != RCS_MAGIC:
-                raise ValueError(f"bad RCS header magic in {self.path}")
-        if footer.get("version") != RCS_VERSION:
-            raise ValueError(
-                f"unsupported RCS version {footer.get('version')!r} "
-                f"in {self.path}"
+            if f.read(magic_len) != magic:
+                raise ColumnarFormatError(
+                    f"bad RCS header magic in {self.path}"
+                )
+        if not isinstance(footer, dict) or footer.get("version") not in (1, 2):
+            got = footer.get("version") if isinstance(footer, dict) else footer
+            raise ColumnarFormatError(
+                f"unsupported RCS version {got!r} in {self.path}"
             )
-        self.n_rows: int = int(footer["n_rows"])
-        self._cols: dict[str, dict] = {c["name"]: c for c in footer["columns"]}
+        self._data_end = size - tail - length
+        self._validate(footer)
         self._mm: np.memmap | None = None
+        self._decoded: dict[str, np.ndarray] = {}
+
+    def _validate(self, footer: dict) -> None:
+        """Reject structurally impossible footers before any data read."""
+        try:
+            self.n_rows = int(footer["n_rows"])
+            columns = footer["columns"]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ColumnarFormatError(
+                f"corrupt RCS footer schema in {self.path}: {exc}"
+            ) from exc
+        if self.n_rows < 0 or not isinstance(columns, list):
+            raise ColumnarFormatError(
+                f"corrupt RCS footer schema in {self.path}"
+            )
+        self._cols: dict[str, dict] = {}
+        for meta in columns:
+            try:
+                name = meta["name"]
+                dtype = np.dtype(meta["dtype"])
+                offset = int(meta["offset"])
+                nbytes = int(meta["nbytes"])
+            except Exception as exc:
+                raise ColumnarFormatError(
+                    f"corrupt RCS column metadata in {self.path}: {exc}"
+                ) from exc
+            if offset < len(RCS_MAGIC) or nbytes < 0 or (
+                offset + nbytes > self._data_end
+            ):
+                raise ColumnarFormatError(
+                    f"column {name!r} extent [{offset}, {offset + nbytes}) "
+                    f"falls outside the data region of {self.path}"
+                )
+            enc = meta.get("enc")
+            if enc is None:
+                if nbytes != self.n_rows * dtype.itemsize:
+                    raise ColumnarFormatError(
+                        f"raw column {name!r} holds {nbytes} bytes, "
+                        f"but {self.n_rows} rows of {dtype} need "
+                        f"{self.n_rows * dtype.itemsize} in {self.path}"
+                    )
+            elif not isinstance(enc, dict) or enc.get("codec") not in CODECS:
+                codec = enc.get("codec") if isinstance(enc, dict) else enc
+                raise ColumnarFormatError(
+                    f"column {name!r} uses unknown codec {codec!r} "
+                    f"in {self.path}"
+                )
+            self._cols[name] = meta
 
     # ---------------- metadata ----------------
 
@@ -245,6 +384,27 @@ class RcsFile:
     def zones(self) -> dict[str, dict]:
         """Zone map per column (min / max / nulls / sorted)."""
         return {name: meta["zone"] for name, meta in self._cols.items()}
+
+    @property
+    def dtypes(self) -> dict[str, np.dtype]:
+        """Column name -> dtype, from the footer alone (no data touched)."""
+        return {
+            name: np.dtype(meta["dtype"])
+            for name, meta in self._cols.items()
+        }
+
+    @property
+    def codecs(self) -> dict[str, str]:
+        """Column name -> codec (``raw`` for uncompressed columns)."""
+        return {
+            name: (meta.get("enc") or {}).get("codec", "raw")
+            for name, meta in self._cols.items()
+        }
+
+    @property
+    def has_encoded(self) -> bool:
+        """True when any column needs decoding (reads are not zero-copy)."""
+        return any("enc" in meta for meta in self._cols.values())
 
     def __repr__(self) -> str:
         return (
@@ -259,17 +419,35 @@ class RcsFile:
             self._mm = np.memmap(self.path, dtype=np.uint8, mode="r")
         return self._mm
 
+    def _decode(self, name: str) -> np.ndarray:
+        """Decode (and cache) one encoded column."""
+        got = self._decoded.get(name)
+        if got is None:
+            meta = self._cols[name]
+            mm = self._mapping()
+            payload = bytes(mm[meta["offset"]:meta["offset"] + meta["nbytes"]])
+            got = decode_column(
+                meta["enc"], payload, np.dtype(meta["dtype"]), self.n_rows
+            )
+            got.setflags(write=False)
+            self._decoded[name] = got
+        return got
+
     def read(
         self,
         columns: list[str] | None = None,
         rows: slice | None = None,
     ) -> Table:
-        """A zero-copy table of the requested columns (default: all).
+        """A table of the requested columns (default: all).
 
-        ``rows`` slices every column (still zero-copy: views of views).
-        The returned table retains this reader, and each view's ``base``
-        chain pins the mapping, so it outlives both this object and — on
-        POSIX — the directory entry itself.
+        Raw columns are zero-copy views over the mapping; encoded columns
+        decode into cached process-local arrays — fanned out over a small
+        thread pool when several need decoding on a multi-core machine
+        (inflation releases the GIL).  ``rows`` slices every column
+        (views of views on the raw path).  The returned table retains
+        this reader, and each raw view's ``base`` chain pins the mapping,
+        so it outlives both this object and — on POSIX — the directory
+        entry itself.
         """
         names = self.columns if columns is None else list(columns)
         missing = [n for n in names if n not in self._cols]
@@ -277,14 +455,59 @@ class RcsFile:
             raise KeyError(
                 f"no columns {missing} in {self.path}; have {self.columns}"
             )
+        pending = [
+            n for n in names
+            if "enc" in self._cols[n] and n not in self._decoded
+        ]
+        if len(pending) > 1 and _decode_workers(len(pending)) > 1:
+            with ThreadPoolExecutor(_decode_workers(len(pending))) as pool:
+                list(pool.map(self._decode, pending))
         mm = self._mapping()
         cols: dict[str, np.ndarray] = {}
         for name in names:
             meta = self._cols[name]
-            raw = mm[meta["offset"]:meta["offset"] + meta["nbytes"]]
-            view = raw.view(np.dtype(meta["dtype"]))
+            if "enc" in meta:
+                view = self._decode(name)
+            else:
+                raw = mm[meta["offset"]:meta["offset"] + meta["nbytes"]]
+                view = raw.view(np.dtype(meta["dtype"]))
             cols[name] = view if rows is None else view[rows]
         return Table(cols).retain(self)
+
+    def read_into(self, out: dict[str, np.ndarray]) -> None:
+        """Decode/copy columns straight into caller-owned arrays.
+
+        Each ``out`` value must be a writeable C-contiguous ``(n_rows,)``
+        array of the column's exact dtype — typically a row-slice of a
+        preallocated stitched table, which is how
+        :meth:`~repro.parallel.PartitionedDataset.to_table` avoids a
+        second full-size copy per shard.  The decode cache is bypassed
+        (the destination belongs to the caller); already-cached columns
+        are copied from the cache.  On a decode error the destination's
+        contents are unspecified.
+        """
+        missing = [n for n in out if n not in self._cols]
+        if missing:
+            raise KeyError(
+                f"no columns {missing} in {self.path}; have {self.columns}"
+            )
+        mm = self._mapping()
+        for name, dest in out.items():
+            meta = self._cols[name]
+            if "enc" not in meta:
+                raw = mm[meta["offset"]:meta["offset"] + meta["nbytes"]]
+                np.copyto(dest, raw.view(np.dtype(meta["dtype"])),
+                          casting="no")
+            elif name in self._decoded:
+                np.copyto(dest, self._decoded[name], casting="no")
+            else:
+                payload = bytes(
+                    mm[meta["offset"]:meta["offset"] + meta["nbytes"]]
+                )
+                decode_column(
+                    meta["enc"], payload, np.dtype(meta["dtype"]),
+                    self.n_rows, out=dest,
+                )
 
     def read_time_range(
         self,
@@ -293,12 +516,12 @@ class RcsFile:
         columns: list[str] | None = None,
         time: str = "timestamp",
     ) -> Table:
-        """Rows with ``t_begin <= time < t_end`` (zero-copy when sorted).
+        """Rows with ``t_begin <= time < t_end`` (zero-copy when sorted + raw).
 
         A time column the zone map marks sorted is sliced with two
-        ``searchsorted`` probes — only the time column's pages are
-        touched before slicing; otherwise a boolean mask is applied
-        (which materializes fresh arrays).
+        ``searchsorted`` probes — only the time column's pages (or its
+        cached decode) are touched before slicing; otherwise a boolean
+        mask is applied (which materializes fresh arrays).
         """
         if time not in self._cols:
             raise KeyError(f"no time column {time!r} in {self.path}")
@@ -312,12 +535,12 @@ class RcsFile:
 
 
 def open_rcs(path: str | os.PathLike) -> RcsFile:
-    """Open an ``.rcs`` shard for reading (footer parse only)."""
+    """Open an ``.rcs`` shard for reading (footer parse + validation only)."""
     return RcsFile(path)
 
 
 def load_rcs(
     path: str | os.PathLike, columns: list[str] | None = None
 ) -> Table:
-    """Load (a projection of) an ``.rcs`` shard as a zero-copy table."""
+    """Load (a projection of) an ``.rcs`` shard as a table."""
     return RcsFile(path).read(columns)

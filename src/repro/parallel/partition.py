@@ -27,8 +27,10 @@ from __future__ import annotations
 
 import json
 import os
-from dataclasses import dataclass, asdict, field
+from dataclasses import dataclass, asdict, field, replace
 from pathlib import Path
+
+import numpy as np
 
 from repro.frame.columnar import load_rcs, open_rcs, save_rcs, storage_format, zone_map
 from repro.frame.io import load_npz, save_npz
@@ -44,7 +46,9 @@ class PartitionMeta:
     ``format`` names the on-disk encoding (``rcs`` or ``npz``); ``zone``
     is the shard's zone map (absent in pre-columnar manifests, in which
     case pruning falls back to the partition time extents and row slicing
-    to masks).
+    to masks); ``enc`` maps the shard's *compressed* columns to their
+    codecs (absent/empty when every column is raw, and always absent for
+    ``npz`` shards — their compression is whole-file).
     """
 
     index: int
@@ -55,6 +59,7 @@ class PartitionMeta:
     n_bytes: int
     format: str = "npz"
     zone: dict | None = field(default=None, compare=False)
+    enc: dict | None = field(default=None, compare=False)
 
 
 class PartitionedDataset:
@@ -74,6 +79,9 @@ class PartitionedDataset:
             )
         raw = json.loads(manifest.read_text())
         self.name: str = raw["name"]
+        #: bumped by :meth:`compact`; compacted shard filenames carry it so
+        #: they can never collide with live pre-compaction files
+        self.generation: int = int(raw.get("generation", 0))
         self.partitions: list[PartitionMeta] = [
             PartitionMeta(**p) for p in raw["partitions"]
         ]
@@ -117,23 +125,55 @@ class PartitionedDataset:
         fmt = fmt or storage_format()
         zones = zone_map(table)
         idx = len(self.partitions)
-        fname = f"part-{idx:05d}.{fmt}"
-        if fmt == "rcs":
-            n_bytes = save_rcs(table, self.root / fname, zones=zones)
-        else:
-            n_bytes = save_npz(table, self.root / fname)
-        meta = PartitionMeta(idx, fname, float(t_begin), float(t_end),
-                             table.n_rows, n_bytes, format=fmt, zone=zones)
+        meta = self._write_shard(table, idx, float(t_begin), float(t_end),
+                                 fmt, zones)
         self.partitions.append(meta)
         self._flush()
         return meta
 
+    def _shard_name(self, index: int, fmt: str) -> str:
+        if self.generation == 0:
+            return f"part-{index:05d}.{fmt}"
+        return f"part-g{self.generation:03d}-{index:05d}.{fmt}"
+
+    def _write_shard(
+        self,
+        table: Table,
+        index: int,
+        t_begin: float,
+        t_end: float,
+        fmt: str,
+        zones: dict,
+    ) -> PartitionMeta:
+        """Write one shard file and build its manifest entry."""
+        fname = self._shard_name(index, fmt)
+        enc = None
+        if fmt == "rcs":
+            n_bytes = save_rcs(table, self.root / fname, zones=zones)
+            codecs = open_rcs(self.root / fname).codecs
+            enc = {c: k for c, k in codecs.items() if k != "raw"} or None
+        else:
+            n_bytes = save_npz(table, self.root / fname)
+        return PartitionMeta(index, fname, t_begin, t_end, table.n_rows,
+                             n_bytes, format=fmt, zone=zones, enc=enc)
+
     def _flush(self) -> None:
-        (self.root / _MANIFEST).write_text(
-            json.dumps(
-                {"name": self.name, "partitions": [asdict(p) for p in self.partitions]}
-            )
+        """Atomically replace the manifest (same-directory temp + rename).
+
+        A reader that opens the dataset mid-write sees either the old or
+        the new manifest, never a torn one — the invariant
+        :meth:`compact` relies on to swap shard sets under live readers.
+        """
+        payload = json.dumps(
+            {
+                "name": self.name,
+                "generation": self.generation,
+                "partitions": [asdict(p) for p in self.partitions],
+            }
         )
+        tmp = self.root / f".{_MANIFEST}.{os.getpid()}.tmp"
+        tmp.write_text(payload)
+        os.replace(tmp, self.root / _MANIFEST)
 
     # ---------------- access ----------------
 
@@ -292,9 +332,180 @@ class PartitionedDataset:
             yield self.read_time_range(i, lo, hi, columns, time=time)
 
     def to_table(self, columns: list[str] | None = None) -> Table:
-        """Materialize the whole dataset (small datasets / tests only)."""
+        """Materialize the whole dataset (small datasets / tests only).
+
+        All-``rcs`` datasets with a uniform schema are *stitched*: the
+        result table is allocated once and every shard decodes (or, for
+        raw columns, copies) directly into its row-slice — skipping the
+        per-shard intermediate arrays and the second full-size copy a
+        read-then-concat pays.  Mixed-format or schema-drifted datasets
+        fall back to read + :func:`~repro.frame.table.concat`.
+        """
         if not self.partitions:
             raise ValueError("empty dataset")
+        stitched = self._stitch_rcs(columns)
+        if stitched is not None:
+            return stitched
         return concat(
             [self.read(i, columns) for i in range(self.n_partitions)]
         )
+
+    def _stitch_rcs(self, columns: list[str] | None) -> Table | None:
+        """Single-allocation materialization, or ``None`` to fall back."""
+        if any(p.format != "rcs" for p in self.partitions):
+            return None
+        import numpy as np
+
+        from repro.frame.columnar import open_rcs
+
+        readers = [
+            open_rcs(self.root / p.filename) for p in self.partitions
+        ]
+        names = readers[0].columns if columns is None else list(columns)
+        dtypes = readers[0].dtypes
+        if any(n not in dtypes for n in names):
+            # let read() raise its usual KeyError with the shard path
+            return None
+        for r in readers[1:]:
+            theirs = r.dtypes
+            if any(theirs.get(n) != dtypes[n] for n in names):
+                return None  # schema drift: concat's promotion rules apply
+        total = sum(r.n_rows for r in readers)
+        cols = {n: np.empty(total, dtypes[n]) for n in names}
+        row = 0
+        for r in readers:
+            r.read_into(
+                {n: cols[n][row:row + r.n_rows] for n in names}
+            )
+            row += r.n_rows
+        return Table(cols)
+
+    # ---------------- maintenance ----------------
+
+    def encoding_summary(self) -> dict[str, int]:
+        """``{codec: column count}`` across all shards (``raw`` included).
+
+        Manifest-only — no shard is opened.  ``npz`` shards count as one
+        ``npz`` entry each (their compression is whole-file, not
+        per-column).
+        """
+        out: dict[str, int] = {}
+        for p in self.partitions:
+            if p.format != "rcs":
+                out["npz"] = out.get("npz", 0) + 1
+                continue
+            enc = p.enc or {}
+            n_cols = len(p.zone) if p.zone else len(enc)
+            out["raw"] = out.get("raw", 0) + (n_cols - len(enc))
+            for codec in enc.values():
+                out[codec] = out.get(codec, 0) + 1
+        return out
+
+    def compact(
+        self,
+        target_rows: int | None = None,
+        fmt: str | None = None,
+        time: str = "timestamp",
+    ) -> dict:
+        """Merge runs of small shards into larger sorted ones, in place.
+
+        Streaming appends leave datasets as many small shards (one per
+        checkpoint flush), which blunts pushdown: more manifest entries
+        to prune, more files to open, and — when flushes interleaved
+        around window boundaries — time columns that lost their
+        ``sorted`` zone flag, knocking reads off the ``searchsorted``
+        fast path.  Compaction restores the invariants dataset writers
+        establish: consecutive shards are concatenated (greedily, up to
+        ``target_rows`` rows per output; default: the largest current
+        shard size), re-sorted stably by ``time``, re-encoded
+        (``REPRO_RCS_COMPRESSION`` applies), and their zone maps rebuilt.
+        Single shards already sorted and big enough are left untouched —
+        compacting an already-compact dataset is a no-op.
+
+        **Concurrent-reader safety**: merged shards are written to fresh
+        generation-stamped filenames, the manifest is atomically
+        replaced, and only then are the superseded files unlinked.  A
+        reader holding a pre-compaction mmap keeps reading valid bytes
+        (POSIX keeps unlinked inodes alive until the last mapping goes),
+        and a reader re-opening the dataset sees either the old complete
+        shard set or the new one, never a mix.
+
+        Returns a stats dict: shard counts and bytes before/after, and
+        how many shards were rewritten.
+        """
+        if target_rows is None:
+            target_rows = max((p.n_rows for p in self.partitions),
+                              default=0)
+        fmt = fmt or storage_format()
+        before = {"n_partitions": self.n_partitions,
+                  "n_bytes": self.n_bytes}
+
+        groups: list[list[PartitionMeta]] = []
+        cur: list[PartitionMeta] = []
+        rows = 0
+        for p in self.partitions:
+            cur.append(p)
+            rows += p.n_rows
+            if rows >= target_rows:
+                groups.append(cur)
+                cur, rows = [], 0
+        if cur:
+            groups.append(cur)
+
+        def _needs_rewrite(group: list[PartitionMeta]) -> bool:
+            if len(group) > 1:
+                return True
+            p = group[0]
+            zone = (p.zone or {}).get(time)
+            # a lone unsorted shard is rewritten to restore the fast path
+            return zone is not None and not zone["sorted"]
+
+        if not any(_needs_rewrite(g) for g in groups):
+            return {"before": before, "n_partitions": self.n_partitions,
+                    "n_bytes": self.n_bytes, "rewritten": 0,
+                    "generation": self.generation}
+
+        self.generation += 1
+        new_parts: list[PartitionMeta] = []
+        obsolete: list[str] = []
+        rewritten = 0
+        for group in groups:
+            idx = len(new_parts)
+            if not _needs_rewrite(group):
+                new_parts.append(replace(group[0], index=idx))
+                continue
+            merged = concat([self._read_meta(p) for p in group])
+            if time in merged.columns:
+                order = np.argsort(
+                    np.asarray(merged[time]), kind="stable"
+                )
+                merged = merged.take(order)
+            meta = self._write_shard(
+                merged, idx, group[0].t_begin, group[-1].t_end, fmt,
+                zone_map(merged),
+            )
+            new_parts.append(meta)
+            obsolete.extend(p.filename for p in group)
+            rewritten += len(group)
+
+        self.partitions = new_parts
+        self._flush()
+        # unlink strictly after the manifest rename: concurrent readers
+        # holding old mmaps stay valid, re-openers never see a gap
+        for fname in obsolete:
+            try:
+                (self.root / fname).unlink()
+            except FileNotFoundError:  # pragma: no cover
+                pass
+        return {
+            "before": before,
+            "n_partitions": self.n_partitions,
+            "n_bytes": self.n_bytes,
+            "rewritten": rewritten,
+            "generation": self.generation,
+        }
+
+    def _read_meta(self, meta: PartitionMeta) -> Table:
+        if meta.format == "rcs":
+            return load_rcs(self.root / meta.filename)
+        return load_npz(self.root / meta.filename)

@@ -119,7 +119,10 @@ def mmap_ref(table: Table) -> MmapTableRef | None:
     Succeeds only when every column is a C-contiguous view whose ``base``
     chain bottoms out in the *same* ``numpy.memmap`` — exactly what
     :meth:`repro.frame.columnar.RcsFile.read` (and its row-sliced reads)
-    produce.  Returns None for ordinary in-memory tables.
+    produce for *raw* columns.  Returns None for ordinary in-memory
+    tables — including columns decoded from compressed ``.rcs`` shards,
+    which are fresh process-local arrays with no file backing; those fall
+    back to the shared-memory copy route in :func:`wrap_item`.
     """
     path: str | None = None
     metas: list[_ColumnMeta] = []

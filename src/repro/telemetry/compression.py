@@ -6,6 +6,11 @@ quantized, so the classic stack works very well:
 
     quantize (already integral) -> delta -> zigzag -> varint -> DEFLATE
 
+The primitive stages (zigzag, LEB128 varint) now live in
+:mod:`repro.frame.encodings`, where the ``.rcs`` storage layer reuses them
+for on-disk column compression; this module keeps the ``RTS1`` blob format
+and its error contract unchanged on top of those shared kernels.
+
 ``encode_timeseries``/``decode_timeseries`` round-trip exactly (property
 tested); :func:`compression_ratio` reports raw float64 bytes vs encoded.
 """
@@ -16,81 +21,14 @@ import zlib
 
 import numpy as np
 
+from repro.frame.encodings import (
+    varint_decode as _varint_decode,
+    varint_encode as _varint_encode,
+    zigzag_decode as _unzigzag,
+    zigzag_encode as _zigzag,
+)
+
 _MAGIC = b"RTS1"
-
-
-def _zigzag(d: np.ndarray) -> np.ndarray:
-    return ((d << 1) ^ (d >> 63)).astype(np.uint64)
-
-
-def _unzigzag(z: np.ndarray) -> np.ndarray:
-    z = z.astype(np.uint64)
-    return ((z >> np.uint64(1)) ^ (-(z & np.uint64(1))).astype(np.uint64)).astype(
-        np.int64
-    )
-
-
-def _varint_encode(values: np.ndarray) -> bytes:
-    """LEB128 varint encoding of a uint64 vector (vectorized by byte plane)."""
-    values = values.astype(np.uint64)
-    out = bytearray()
-    pending = values.copy()
-    parts: list[np.ndarray] = []
-    masks: list[np.ndarray] = []
-    alive = np.ones(len(values), dtype=bool)
-    while alive.any():
-        byte = (pending & np.uint64(0x7F)).astype(np.uint8)
-        pending = pending >> np.uint64(7)
-        more = pending > 0
-        byte[more] |= 0x80
-        parts.append(np.where(alive, byte, 0).astype(np.uint8))
-        masks.append(alive.copy())
-        alive = alive & more
-    # interleave: emit per-value sequences
-    n = len(values)
-    max_len = len(parts)
-    grid = np.zeros((n, max_len), dtype=np.uint8)
-    valid = np.zeros((n, max_len), dtype=bool)
-    for i, (p, m) in enumerate(zip(parts, masks)):
-        grid[:, i] = p
-        valid[:, i] = m
-    flat = grid[valid]
-    out.extend(flat.tobytes())
-    return bytes(out)
-
-
-def _varint_decode(buf: bytes, count: int) -> np.ndarray:
-    if count == 0:
-        if buf:
-            raise ValueError(
-                "corrupt varint stream: trailing bytes after an empty series"
-            )
-        return np.zeros(0, dtype=np.uint64)
-    if not buf:
-        raise ValueError(
-            f"corrupt varint stream: empty payload, header claims {count} "
-            "values"
-        )
-    data = np.frombuffer(buf, dtype=np.uint8)
-    out = np.zeros(count, dtype=np.uint64)
-    # positions of value boundaries: a byte with high bit clear ends a value
-    ends = (data & 0x80) == 0
-    # assign each byte to its value index
-    value_of_byte = np.concatenate([[0], np.cumsum(ends)[:-1]])
-    terminated = int(ends.sum())
-    if terminated != count or value_of_byte[-1] != count - 1:
-        raise ValueError(
-            f"corrupt varint stream: holds {terminated} terminated values, "
-            f"header claims {count}"
-        )
-    # byte position within its value
-    starts = np.concatenate([[0], np.flatnonzero(ends)[:-1] + 1])
-    pos_in_value = np.arange(len(data)) - starts[value_of_byte]
-    contrib = (data.astype(np.uint64) & np.uint64(0x7F)) << (
-        np.uint64(7) * pos_in_value.astype(np.uint64)
-    )
-    np.add.at(out, value_of_byte, contrib)
-    return out
 
 
 def encode_timeseries(values: np.ndarray, lsb: float = 1.0) -> bytes:

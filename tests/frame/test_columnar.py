@@ -142,13 +142,23 @@ class TestProjection:
             load_rcs(tmp_path / "t.rcs", ["nope"])
 
     def test_reads_are_views_not_copies(self, tmp_path):
-        save_rcs(make(), tmp_path / "t.rcs")
+        save_rcs(make(), tmp_path / "t.rcs", compression="off")
         out = load_rcs(tmp_path / "t.rcs", ["f"])
         base = out["f"]
         while not isinstance(base, np.memmap):
             base = base.base
             assert base is not None, "column is a fresh copy, not a view"
         assert isinstance(base, np.memmap)
+
+    def test_encoded_reads_are_cached_per_reader(self, tmp_path):
+        t = Table({"t": np.arange(512, dtype=np.float64)})
+        save_rcs(t, tmp_path / "t.rcs", compression="auto")
+        rf = open_rcs(tmp_path / "t.rcs")
+        assert rf.codecs["t"] != "raw"
+        first = rf.read(["t"])["t"]
+        second = rf.read(["t"])["t"]
+        assert first is second, "decode should happen once per reader"
+        assert not first.flags.writeable
 
 
 class TestZoneMaps:
@@ -307,3 +317,46 @@ class TestNpzProjection:
         save_npz(t, tmp_path / "t.npz", atomic=True)
         assert_tables_identical(load_npz(tmp_path / "t.npz"), t)
         assert not list(tmp_path.glob(".*tmp"))
+
+class TestReadInto:
+    """``RcsFile.read_into``: decode straight into caller-owned arrays."""
+
+    @staticmethod
+    def _wide(n=800):
+        rng = np.random.default_rng(21)
+        return Table({
+            "t": np.arange(n, dtype=np.float64),             # qdelta
+            "node": np.arange(n, dtype=np.int64) % 16,       # dict/delta
+            "power": np.cumsum(rng.integers(-3, 4, n)) * 0.1,  # qdelta
+            "noise": rng.normal(0.0, 1e9, n),                # raw
+        })
+
+    def test_matches_read_for_every_column(self, tmp_path):
+        table = self._wide()
+        save_rcs(table, tmp_path / "w.rcs", compression="auto")
+        r = open_rcs(tmp_path / "w.rcs")
+        assert r.has_encoded  # the shard must mix encoded and raw columns
+        assert "raw" in r.codecs.values()
+        out = {c: np.empty(r.n_rows, dt) for c, dt in r.dtypes.items()}
+        r.read_into(out)
+        want = r.read()
+        for c in table.columns:
+            a, b = out[c], np.asarray(want[c])
+            assert np.array_equal(a.view(np.uint8), b.view(np.uint8)), c
+
+    def test_cached_columns_are_copied_not_aliased(self, tmp_path):
+        table = self._wide()
+        save_rcs(table, tmp_path / "w.rcs", compression="auto")
+        r = open_rcs(tmp_path / "w.rcs")
+        cached = r.read(["power"])["power"]  # populates the decode cache
+        dest = {"power": np.empty(r.n_rows, np.float64)}
+        r.read_into(dest)
+        assert dest["power"] is not cached
+        assert dest["power"].base is None
+        assert np.array_equal(dest["power"], cached)
+
+    def test_missing_column_raises(self, tmp_path):
+        save_rcs(self._wide(), tmp_path / "w.rcs", compression="auto")
+        r = open_rcs(tmp_path / "w.rcs")
+        with pytest.raises(KeyError, match="ghost"):
+            r.read_into({"ghost": np.empty(r.n_rows, np.float64)})

@@ -237,3 +237,78 @@ class TestPredicatePushdown:
         assert got.columns == want.columns
         for c in want.columns:
             assert np.array_equal(got[c], want[c])
+
+class TestStitchedToTable:
+    """The single-allocation ``to_table`` path and its fallbacks."""
+
+    @staticmethod
+    def _mixed_shard(lo, n=600, seed=0):
+        rng = np.random.default_rng(seed)
+        return Table({
+            "timestamp": np.arange(lo, lo + n, dtype=np.float64),
+            "node": np.arange(n, dtype=np.int64) % 8,
+            "power": np.cumsum(rng.integers(-3, 4, n)) * 0.1,
+            "noise": rng.normal(0.0, 1e9, n),
+        })
+
+    def test_matches_read_concat(self, tmp_path):
+        from repro.frame.table import concat
+
+        d = PartitionedDataset.create(tmp_path / "s", "stitch")
+        for i in range(4):
+            d.append(self._mixed_shard(i * 600.0, seed=i),
+                     i * 600.0, (i + 1) * 600.0)
+        stitched = d.to_table()
+        assert stitched is not None  # the rcs fast path applies
+        manual = concat([d.read(i) for i in range(d.n_partitions)])
+        assert stitched.columns == manual.columns
+        for c in stitched.columns:
+            a, b = np.asarray(stitched[c]), np.asarray(manual[c])
+            assert a.dtype == b.dtype, c
+            assert np.array_equal(a.view(np.uint8), b.view(np.uint8)), c
+
+    def test_projection(self, tmp_path):
+        d = PartitionedDataset.create(tmp_path / "p", "proj")
+        for i in range(3):
+            d.append(self._mixed_shard(i * 600.0, seed=i),
+                     i * 600.0, (i + 1) * 600.0)
+        t = d.to_table(columns=["timestamp", "power"])
+        assert t.columns == ["timestamp", "power"]
+        assert t.n_rows == 1800
+
+    def test_missing_column_still_raises(self, tmp_path):
+        d = PartitionedDataset.create(tmp_path / "m", "miss")
+        d.append(self._mixed_shard(0.0), 0.0, 600.0)
+        with pytest.raises(KeyError, match="ghost"):
+            d.to_table(columns=["ghost"])
+
+    def test_schema_drift_falls_back_to_promotion(self, tmp_path):
+        # same column name, different dtypes across shards: the stitch
+        # bails out and concat's numpy promotion applies, as before
+        d = PartitionedDataset.create(tmp_path / "d", "drift")
+        d.append(Table({"timestamp": np.arange(5.0),
+                        "v": np.arange(5, dtype=np.int32)}), 0.0, 5.0)
+        d.append(Table({"timestamp": np.arange(5.0, 10.0),
+                        "v": np.arange(5, dtype=np.int64)}), 5.0, 10.0)
+        assert d._stitch_rcs(None) is None
+        t = d.to_table()
+        assert t.n_rows == 10
+        assert t["v"].dtype == np.int64
+
+    def test_npz_store_falls_back(self, tmp_path):
+        d = PartitionedDataset.create(tmp_path / "n", "npz")
+        for i in range(2):
+            d.append(self._mixed_shard(i * 600.0, seed=i),
+                     i * 600.0, (i + 1) * 600.0, fmt="npz")
+        assert d._stitch_rcs(None) is None
+        assert d.to_table().n_rows == 1200
+
+    def test_stitched_columns_are_writable_and_owned(self, tmp_path):
+        # results must not alias shard mmaps (delete-safe, mutation-safe)
+        d = PartitionedDataset.create(tmp_path / "w", "own")
+        d.append(self._mixed_shard(0.0), 0.0, 600.0)
+        t = d.to_table()
+        for c in t.columns:
+            arr = np.asarray(t[c])
+            assert arr.flags.writeable, c
+            assert arr.base is None, c

@@ -180,13 +180,44 @@ class TestMmapTransport:
 
         p = tmp_path / name
         if not p.exists():
-            save_rcs(big_table(n=2_000), p)
+            # raw layout: the mmap fast path only exists for raw columns
+            save_rcs(big_table(n=2_000), p, compression="off")
         return open_rcs(p).read(columns, rows=rows)
 
     def test_plain_table_not_mmap(self):
         from repro.parallel import mmap_ref
 
         assert mmap_ref(big_table(n=100)) is None
+
+    def test_encoded_columns_fall_back_to_copy(self, tmp_path):
+        """Compressed shards decode into plain arrays: no mmap ref.
+
+        ``wrap_item`` must then take the shm-copy route, which is what
+        the process transport does for any non-mapped table.
+        """
+        from repro.frame.columnar import open_rcs, save_rcs
+        from repro.parallel import mmap_ref
+        from repro.parallel.shm import (
+            SharedTableRef,
+            release,
+            wrap_item,
+        )
+
+        t = Table({"t": np.arange(16_384, dtype=np.float64)})
+        save_rcs(t, tmp_path / "enc.rcs", compression="auto")
+        rf = open_rcs(tmp_path / "enc.rcs")
+        assert rf.has_encoded
+        out = rf.read()
+        assert mmap_ref(out) is None
+        owned: list = []
+        try:
+            wrapped = wrap_item(out, owned)
+            assert isinstance(wrapped, SharedTableRef)
+            back = materialize(wrapped, unlink=False)
+            assert np.array_equal(back["t"], t["t"])
+        finally:
+            for seg in owned:
+                release(seg)
 
     def test_ref_roundtrip(self, tmp_path):
         from repro.parallel import MmapTableRef, attach_mmap, mmap_ref

@@ -35,6 +35,28 @@ class TestCli:
         with pytest.raises(SystemExit):
             main([])
 
+    def test_compact(self, tmp_path, capsys):
+        import numpy as np
+
+        from repro.frame.table import Table
+        from repro.parallel.partition import PartitionedDataset
+
+        ds = PartitionedDataset.create(tmp_path / "ds", "d")
+        for k in range(6):
+            t0 = 100.0 * k
+            ds.append(
+                Table({"timestamp": np.arange(t0, t0 + 100.0),
+                       "power": np.full(100, 2000.0)}),
+                t0, t0 + 100.0,
+            )
+        rc = main(["compact", str(tmp_path / "ds"),
+                   "--target-rows", "300"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "compacted d: 6 -> 2 shards" in out
+        assert "column encodings:" in out
+        assert PartitionedDataset(tmp_path / "ds").n_partitions == 2
+
 
 class TestCliStream:
     ARGS = ["--nodes", "12", "--jobs", "40", "--days", "0.02", "--seed", "3",

@@ -106,11 +106,20 @@ SPECS: dict[str, list] = {
         Exact("processes shards", r"(?m)^processes x4\s+\d+"),
         Exact("fused shards", r"(?m)^fused x4\s+\d+"),
         Exact("bit-identical", r"all variants bit-identical: \w+"),
+        # ratio value is box-dependent; assert the pin line + budget only
+        Exact("process overhead pinned",
+              r"processes/threads ratio: [\d.]+x (\(budget [\d.]+x\))"),
         Exact("kernel table present", r"(?m)^sorted-path\b"),
     ],
     "io_throughput": [
         Exact("bit-identical", r"all reads bit-identical: \w+"),
         Exact("zone-pruned shards", r"zone-map pruned shards: \d+/\d+"),
+        # sizes and timings are box/scale-dependent; assert the bound
+        # lines (and their budgets) are present and unchanged
+        Exact("bytes bound pinned",
+              r"compressed/npz bytes: [\d.]+ (\(must be < 1\))"),
+        Exact("cold-read bound pinned",
+              r"compressed/raw cold read: [\d.]+x (\(budget [\d.]+x\))"),
     ],
     "stream_throughput": [
         Exact("replayed rows", r"replayed rows: (\d+)"),
