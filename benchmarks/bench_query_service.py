@@ -1,0 +1,221 @@
+"""Extension — the query service under load: throughput, tail latency,
+cache leverage, and explicit overload behavior.
+
+A twin's raw telemetry is archived as a partitioned ``.rcs`` store and
+served by an in-process :class:`~repro.serve.server.QueryService` (the
+same engine ``python -m repro serve`` wraps in TCP; measuring in-process
+keeps the numbers about the service, not the loopback stack).  A load
+generator sweeps client concurrency for two phases:
+
+* **cold** — distinct cluster-level queries (result cache cleared first):
+  every query plans, scans its surviving shards on the worker pool, and
+  aggregates;
+* **warm** — one identical query repeated by every client against a hot
+  cache: the single-flight + LRU path the "N dashboards, one hot store"
+  workload lives on.
+
+Deterministic phases (pinned exactly in the golden):
+
+* **single-flight** — 12 identical concurrent cold queries must execute
+  exactly once;
+* **overload** — a 1-slot/1-queue service offered 16 queries by 8
+  two-query tenants (quota 1) must answer every request immediately:
+  2 ok (1 of them queued), 2 quota rejections, 12 capacity rejections.
+  Admission decisions happen synchronously on the event loop, so the
+  split is exact, not statistical.
+
+Anchored acceptance bars (hard at full scale, advisory below):
+
+* warm identical-query throughput at concurrency 8  >=  **5x** the cold
+  single-client throughput;
+* the service's full-range answer is **bit-identical** to
+  ``Pipeline.telemetry_series`` over the same archive;
+* overload rejections are explicit (the exact counts above) — rejected
+  beats hung.
+"""
+
+import asyncio
+import time
+
+import numpy as np
+
+from benchutil import SCALE, anchor, emit
+from repro.core.report import render_table
+from repro.datasets import SimulationSpec, simulate_twin
+from repro.datasets.store import write_partitioned_series
+from repro.pipeline import Pipeline, PipelineConfig
+from repro.serve import Query, QueryService, ServiceConfig
+
+SPEC = SimulationSpec(
+    n_nodes=36,
+    n_jobs=max(40, int(400 * SCALE)),
+    horizon_s=max(1800.0, 3600.0 * SCALE),
+    seed=205,
+)
+SHARD_S = 300.0
+WIDTH = 10.0
+CONCURRENCY = (1, 4, 8)
+COLD_QUERIES = max(12, int(48 * SCALE))   # distinct windows per cold phase
+WARM_QUERIES = max(64, int(256 * SCALE))  # identical queries per warm phase
+FLIGHT_BURST = 12                         # identical concurrent (pinned)
+SPEEDUP_FLOOR = 5.0
+
+
+def build_dataset(root):
+    twin = simulate_twin(SPEC)
+    arrays = twin.builder.build(0.0, SPEC.horizon_s, 1.0)
+    telemetry = twin.sampler().sample(arrays)
+    return write_partitioned_series(telemetry, root, "telemetry",
+                                    day_s=SHARD_S)
+
+
+def distinct_queries(n: int) -> list[Query]:
+    """n distinct sliding-window cluster queries over the archive."""
+    span = SPEC.horizon_s
+    qs = []
+    for i in range(n):
+        lo = (i * 97.0) % (span / 2.0)
+        qs.append(Query(t_begin=lo, t_end=lo + span / 3.0, width=WIDTH))
+    return qs
+
+
+async def run_load(service, queries, concurrency):
+    """Drive ``queries`` through ``concurrency`` client coroutines.
+
+    Returns (wall seconds, per-query latencies, cache-hit count).
+    """
+    latencies: list[float] = []
+    hits = 0
+
+    async def client(mine):
+        nonlocal hits
+        for q in mine:
+            resp = await service.query(q)
+            assert resp["status"] == "ok", resp
+            latencies.append(resp["elapsed_s"])
+            if resp["cache"] == "hit":
+                hits += 1
+
+    t0 = time.perf_counter()
+    await asyncio.gather(
+        *(client(queries[i::concurrency]) for i in range(concurrency))
+    )
+    return time.perf_counter() - t0, latencies, hits
+
+
+async def sweep(service):
+    rows = []
+    qps = {}
+    cold_set = distinct_queries(COLD_QUERIES)
+    warm_query = Query(t_begin=0.0, t_end=SPEC.horizon_s, width=WIDTH)
+    for phase in ("cold", "warm"):
+        for conc in CONCURRENCY:
+            if phase == "cold":
+                service.cache.clear()
+                queries = cold_set
+            else:
+                await service.query(warm_query)  # prime outside the clock
+                queries = [warm_query] * WARM_QUERIES
+            wall, lat, hits = await run_load(service, queries, conc)
+            qps[phase, conc] = len(queries) / wall
+            rows.append([
+                phase, conc, len(queries),
+                f"{qps[phase, conc]:.0f}",
+                f"{np.percentile(lat, 50) * 1e3:.2f}",
+                f"{np.percentile(lat, 99) * 1e3:.2f}",
+                f"{hits / len(queries):.2f}",
+            ])
+    return rows, qps
+
+
+async def flight_phase(service):
+    """12 identical concurrent cold queries -> exactly one execution."""
+    service.cache.clear()
+    executed_before = service.stats.executed
+    q = Query(t_begin=0.0, t_end=SPEC.horizon_s / 2.0, width=WIDTH)
+    results = await asyncio.gather(
+        *(service.query(q, tenant=f"dash{i}") for i in range(FLIGHT_BURST))
+    )
+    assert all(r["status"] == "ok" for r in results)
+    return service.stats.executed - executed_before
+
+
+async def overload_phase(dataset):
+    """8 tenants x 2 distinct queries against a 1-slot/1-queue service."""
+    service = QueryService(dataset, ServiceConfig(
+        max_inflight=1, max_queue=1, tenant_inflight=1, workers=1,
+    ))
+    try:
+        tasks = []
+        k = 0
+        for tenant in range(8):
+            for _ in range(2):
+                q = Query(t_begin=0.0, t_end=900.0, width=WIDTH + k)
+                tasks.append(service.query(q, tenant=f"tenant{tenant}"))
+                k += 1
+        results = await asyncio.gather(*tasks)
+        ok = sum(r["status"] == "ok" for r in results)
+        queued = sum(r["status"] == "ok" and r["queued_s"] > 0
+                     for r in results)
+        adm = service.admission
+        return ok, queued, adm.rejected_capacity, adm.rejected_quota
+    finally:
+        service.close()
+
+
+def test_query_service(tmp_path):
+    dataset = build_dataset(tmp_path)
+    service = QueryService(dataset, ServiceConfig(
+        max_inflight=8, max_queue=32, tenant_inflight=32, workers=4,
+    ))
+
+    async def main():
+        rows, qps = await sweep(service)
+        executed = await flight_phase(service)
+        # bit-identity: the service's answer vs the batch pipeline's
+        full = await service.query(
+            Query(t_begin=0.0, t_end=SPEC.horizon_s, width=WIDTH)
+        )
+        overload = await overload_phase(dataset)
+        return rows, qps, executed, full, overload
+
+    try:
+        rows, qps, executed, full, overload = asyncio.run(main())
+    finally:
+        service.close()
+
+    pipe = Pipeline(SPEC, PipelineConfig(backend="serial"))
+    reference = pipe.telemetry_series(
+        dataset, value="input_power", width=WIDTH,
+        t_begin=0.0, t_end=SPEC.horizon_s,
+    )
+    identical = full["table"] == reference
+
+    speedup = qps["warm", 8] / qps["cold", 1]
+    ok, queued, rej_cap, rej_quota = overload
+
+    main_table = render_table(
+        ["phase", "clients", "queries", "qps", "p50 ms", "p99 ms", "hit"],
+        rows,
+        title="Query service: cold vs warm throughput by concurrency",
+    )
+    footer = (
+        f"\nshards: {dataset.n_partitions} x {SHARD_S:.0f}s"
+        f" ({dataset.n_rows} rows archived)"
+        f"\nservice == pipeline: {'yes' if identical else 'NO'}"
+        f"\nsingle-flight: executed {executed} of {FLIGHT_BURST}"
+        f" identical concurrent queries"
+        f"\noverload: offered 16 -> ok {ok} (queued {queued}),"
+        f" rejected {rej_cap + rej_quota}"
+        f" (capacity {rej_cap}, quota {rej_quota})"
+        f"\nwarm@8 vs cold@1 throughput: {speedup:.1f}x"
+        f" (must be >= {SPEEDUP_FLOOR:.0f}x)\n"
+    )
+    emit("query_service", main_table + footer)
+
+    assert identical, "service result diverged from the batch pipeline"
+    assert executed == 1, "single-flight failed to collapse the burst"
+    assert (ok, queued) == (2, 1), (ok, queued)
+    assert (rej_cap, rej_quota) == (12, 2), (rej_cap, rej_quota)
+    anchor(speedup >= SPEEDUP_FLOOR,
+           f"warm/cold throughput {speedup:.1f}x < {SPEEDUP_FLOOR}x")

@@ -18,6 +18,13 @@ Commands
     Merge a partitioned dataset's small appended shards into larger
     sorted ones (rebuilding zone maps and compressed encodings) and
     print before/after shard counts and bytes.
+``serve``
+    Run the multi-tenant telemetry query service (``repro.serve``) over
+    an exported partitioned dataset: NDJSON-over-TCP queries with result
+    caching, single-flight dedup, and admission control.
+``query``
+    One-shot client for a running ``serve`` instance: send one query (or
+    ``--stats``) and print the answer.
 """
 
 from __future__ import annotations
@@ -120,6 +127,19 @@ def cmd_export(args) -> int:
     if enc:
         print("  column encodings: "
               + ", ".join(f"{c}: {n}" for c, n in sorted(enc.items())))
+    if args.telemetry_minutes:
+        from repro.datasets.store import write_partitioned_series
+
+        twin = pipe.twin
+        horizon = min(args.telemetry_minutes * 60.0, twin.spec.horizon_s)
+        telemetry = twin.sampler().sample(twin.builder.build(0.0, horizon, 1.0))
+        ds = write_partitioned_series(
+            telemetry, args.output, "telemetry",
+            day_s=args.telemetry_shard_seconds,
+        )
+        print(f"  telemetry: {ds.n_rows:,} rows in {ds.n_partitions} shards "
+              f"(serve with: python -m repro serve "
+              f"{os.path.join(args.output, 'telemetry')})")
     _maybe_print_stats(args, pipe)
     return 0
 
@@ -197,6 +217,99 @@ def cmd_compact(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.serve import QueryService, ServiceConfig, TelemetryServer
+
+    service = QueryService(args.dataset, ServiceConfig(
+        max_inflight=args.max_inflight,
+        max_queue=args.max_queue,
+        tenant_inflight=args.tenant_inflight,
+        cache_bytes=args.cache_mb << 20,
+        spill_dir=args.spill_dir,
+        workers=args.workers,
+    ))
+    server = TelemetryServer(service, args.host, args.port)
+
+    async def run() -> None:
+        host, port = await server.start()
+        ds = service.dataset
+        print(f"serving {ds.name!r} ({ds.n_rows:,} rows, "
+              f"{ds.n_partitions} shards) on {host}:{port}", flush=True)
+        if args.ready_file:
+            # written after bind: pollers know the port is accepting
+            with open(args.ready_file, "w") as fh:
+                fh.write(f"{host} {port}\n")
+        await server.serve_forever()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+    finally:
+        service.close()
+        print(service.report())
+    return 0
+
+
+def cmd_query(args) -> int:
+    from repro.core.report import fmt_si
+    from repro.serve import Query, QueryClient, QueryError
+
+    with QueryClient(args.host, args.port, tenant=args.tenant) as client:
+        if args.stats:
+            stats = client.stats()
+            tenants = stats.pop("tenants", {})
+            for k, v in stats.items():
+                print(f"{k}: {v}")
+            for name, t in sorted(tenants.items()):
+                print(f"tenant {name}: {t}")
+            return 0
+        try:
+            query = Query(
+                t_begin=args.t_begin,
+                t_end=args.t_end,
+                nodes=tuple(args.node) if args.node else None,
+                cabinets=tuple(args.cabinet) if args.cabinet else None,
+                metrics=tuple(args.metric) if args.metric
+                else ("input_power",),
+                width=args.width,
+                level=args.level,
+                derived="pue" if args.pue else None,
+            )
+        except QueryError as err:
+            print(f"error: {err}")
+            return 1
+        resp = client.query(query)
+
+    if resp["status"] == "rejected":
+        print(f"rejected: {resp['reason']}")
+        return 2
+    if resp["status"] == "error":
+        print(f"error: {resp['error']}")
+        return 1
+    shards = resp.get("shards")
+    extra = (f" | shards: {shards['scanned']} scanned, "
+             f"{shards['pruned']} pruned" if shards else "")
+    print(f"ok: {resp['rows']} rows | cache: {resp['cache']} | "
+          f"{resp['elapsed_s'] * 1e3:.1f} ms{extra}")
+    table = resp["table"]
+    if table.n_rows and "sum_inp" in table:
+        p = np.asarray(table["sum_inp"], dtype=np.float64)
+        print(f"cluster power: mean {fmt_si(float(p.mean()), 'W')} | "
+              f"peak {fmt_si(float(p.max()), 'W')}")
+    if table.n_rows and "pue" in table:
+        pue = np.asarray(table["pue"], dtype=np.float64)
+        print(f"PUE: mean {float(pue.mean()):.3f}")
+    for row in table.head(args.head).to_rows() if args.head else ():
+        print("  " + ", ".join(
+            f"{k}={v:.6g}" if isinstance(v, float) else f"{k}={v}"
+            for k, v in row.items()
+        ))
+    return 0
+
+
 def cmd_spec(args) -> int:
     from repro.core.report import render_table
     from repro.machine import NodePowerModel, Topology
@@ -229,6 +342,12 @@ def main(argv: list[str] | None = None) -> int:
     _add_twin_args(p_exp)
     _add_pipeline_args(p_exp)
     p_exp.add_argument("--output", required=True, help="output directory")
+    p_exp.add_argument("--telemetry-minutes", type=float, default=0.0,
+                       help="also export raw node telemetry as a partitioned "
+                            "dataset covering the first N minutes "
+                            "(the `serve` command's input)")
+    p_exp.add_argument("--telemetry-shard-seconds", type=float, default=300.0,
+                       help="telemetry dataset shard width in seconds")
     p_exp.set_defaults(fn=cmd_export)
 
     p_str = sub.add_parser(
@@ -265,6 +384,57 @@ def main(argv: list[str] | None = None) -> int:
     p_cmp.add_argument("--time", default="timestamp",
                        help="time column to re-sort by")
     p_cmp.set_defaults(fn=cmd_compact)
+
+    p_srv = sub.add_parser(
+        "serve", help="run the telemetry query service over a dataset"
+    )
+    p_srv.add_argument("dataset", help="partitioned dataset directory")
+    p_srv.add_argument("--host", default="127.0.0.1")
+    p_srv.add_argument("--port", type=int, default=0,
+                       help="TCP port (0 = pick a free one)")
+    p_srv.add_argument("--max-inflight", type=int, default=8,
+                       help="queries executing concurrently")
+    p_srv.add_argument("--max-queue", type=int, default=16,
+                       help="queries waiting beyond the in-flight bound")
+    p_srv.add_argument("--tenant-inflight", type=int, default=4,
+                       help="per-tenant held (running+queued) quota")
+    p_srv.add_argument("--cache-mb", type=int, default=64,
+                       help="in-memory result-cache budget (MiB)")
+    p_srv.add_argument("--spill-dir", default=None,
+                       help="optional on-disk result-cache tier")
+    p_srv.add_argument("--workers", type=int, default=None,
+                       help="shard-read pool size (default: cores - 1)")
+    p_srv.add_argument("--ready-file", default=None,
+                       help="write 'host port' here once accepting "
+                            "(for scripted startup)")
+    p_srv.set_defaults(fn=cmd_serve)
+
+    p_qry = sub.add_parser(
+        "query", help="send one query to a running serve instance"
+    )
+    p_qry.add_argument("--host", default="127.0.0.1")
+    p_qry.add_argument("--port", type=int, required=True)
+    p_qry.add_argument("--tenant", default="cli")
+    p_qry.add_argument("--t-begin", type=float, default=None)
+    p_qry.add_argument("--t-end", type=float, default=None)
+    p_qry.add_argument("--node", type=int, action="append", default=None,
+                       help="select a node id (repeatable)")
+    p_qry.add_argument("--cabinet", type=int, action="append", default=None,
+                       help="select a cabinet's nodes (repeatable)")
+    p_qry.add_argument("--metric", action="append", default=None,
+                       help="value column to aggregate (repeatable; "
+                            "default input_power)")
+    p_qry.add_argument("--width", type=float, default=10.0,
+                       help="coarsen window in seconds")
+    p_qry.add_argument("--level", choices=("cluster", "node", "raw"),
+                       default="cluster")
+    p_qry.add_argument("--pue", action="store_true",
+                       help="append the derived PUE series (cluster level)")
+    p_qry.add_argument("--head", type=int, default=0,
+                       help="print the first N result rows")
+    p_qry.add_argument("--stats", action="store_true",
+                       help="print server counters instead of querying")
+    p_qry.set_defaults(fn=cmd_query)
 
     args = parser.parse_args(argv)
     return args.fn(args)

@@ -232,8 +232,33 @@ class PartitionedDataset:
         When the shard's zone map marks the time column sorted, rows are
         sliced with two ``searchsorted`` probes (zero-copy on ``rcs``);
         otherwise a boolean mask is applied.
+
+        **Compaction tolerance**: if the shard file vanished under this
+        handle (a concurrent :meth:`compact` swapped the manifest and
+        unlinked the superseded generation), the read retries against a
+        freshly re-read manifest instead of raising ``FileNotFoundError``
+        — the rows are reconstructed from whichever new shards now cover
+        this shard's declared time extent.  The handle's own (stale)
+        manifest is deliberately left untouched, so a caller iterating
+        shard indices it selected before the swap keeps getting each old
+        shard's exact row set, never a mix of generations.
         """
         meta = self.partitions[index]
+        try:
+            return self._read_time_range_meta(meta, t_begin, t_end,
+                                              columns, time)
+        except FileNotFoundError:
+            return self._reread_time_range(meta, t_begin, t_end,
+                                           columns, time)
+
+    def _read_time_range_meta(
+        self,
+        meta: PartitionMeta,
+        t_begin: float,
+        t_end: float,
+        columns: list[str] | None,
+        time: str,
+    ) -> Table:
         if meta.format == "rcs":
             return open_rcs(self.root / meta.filename).read_time_range(
                 t_begin, t_end, columns, time=time
@@ -253,6 +278,55 @@ class PartitionedDataset:
         else:
             table = table.filter((t >= t_begin) & (t < t_end))
         return table if columns is None else table.select(columns)
+
+    def _reread_time_range(
+        self,
+        meta: PartitionMeta,
+        t_begin: float,
+        t_end: float,
+        columns: list[str] | None,
+        time: str,
+    ) -> Table:
+        """Recover one vanished shard's slice from the current manifest.
+
+        The requested range is clamped to the old shard's declared extent
+        (rows outside it live in *other* old shards, which the caller
+        reads separately), then served from the new generation's shards.
+        Compaction merges and stably re-sorts by time, so for time-sorted
+        datasets the recovered rows are bit-identical — values *and*
+        order — to what the vanished shard would have returned.  A
+        further mid-retry swap is tolerated by re-reading the manifest up
+        to twice more before the error is allowed to propagate.
+        """
+        lo = max(t_begin, meta.t_begin)
+        hi = min(t_end, meta.t_end)
+        last_err: FileNotFoundError | None = None
+        for _ in range(3):
+            try:
+                fresh = PartitionedDataset(self.root)
+                if not fresh.partitions:
+                    break
+                if lo >= hi:
+                    # nothing can overlap: return an empty projected slice
+                    return fresh._read_time_range_meta(
+                        fresh.partitions[0], -np.inf, -np.inf, columns, time
+                    )
+                parts = [
+                    fresh._read_time_range_meta(
+                        fresh.partitions[j], lo, hi, columns, time
+                    )
+                    for j in fresh.select_time(lo, hi, time=time)
+                ]
+                if not parts:
+                    return fresh._read_time_range_meta(
+                        fresh.partitions[0], -np.inf, -np.inf, columns, time
+                    )
+                return parts[0] if len(parts) == 1 else concat(parts)
+            except FileNotFoundError as err:
+                last_err = err
+        raise last_err or FileNotFoundError(
+            f"shard {meta.filename} vanished and {self.root} is now empty"
+        )
 
     def __iter__(self):
         for i in range(self.n_partitions):

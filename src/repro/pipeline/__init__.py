@@ -10,12 +10,18 @@ The substrate for running the twin + analysis out of core:
   bytes, and cache hit/miss counters.
 """
 
-from repro.pipeline.cache import ArtifactCache, cache_key, CACHE_FORMAT_VERSION
+from repro.pipeline.cache import (
+    ArtifactCache,
+    atomic_put_npz,
+    cache_key,
+    CACHE_FORMAT_VERSION,
+)
 from repro.pipeline.runner import Pipeline, PipelineConfig, chunk_windows
 from repro.pipeline.stats import PipelineStats, StageStats
 
 __all__ = [
     "ArtifactCache",
+    "atomic_put_npz",
     "cache_key",
     "CACHE_FORMAT_VERSION",
     "Pipeline",

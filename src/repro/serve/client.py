@@ -1,0 +1,80 @@
+"""Synchronous TCP client for :class:`~repro.serve.server.TelemetryServer`.
+
+One persistent connection, one JSON line per request/response.  Result
+tables arrive in wire form and are rebuilt into
+:class:`~repro.frame.table.Table` objects by default, so a client-side
+result compares equal (``==``, bit-for-bit) to the server-side one.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+
+from repro.serve.query import Query
+from repro.serve.server import table_from_wire
+
+__all__ = ["QueryClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """The connection failed mid-request (protocol error, server gone)."""
+
+
+class QueryClient:
+    """Blocking NDJSON client; usable as a context manager."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        tenant: str = "default",
+        timeout: float = 60.0,
+    ):
+        self.tenant = tenant
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+
+    def __enter__(self) -> "QueryClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def request(self, payload: dict) -> dict:
+        """Send one raw request object, return the raw response object."""
+        self._file.write(
+            json.dumps(payload, separators=(",", ":")).encode() + b"\n"
+        )
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ServiceError("server closed the connection")
+        try:
+            return json.loads(line)
+        except json.JSONDecodeError as err:
+            raise ServiceError(f"bad response line: {err}") from err
+
+    def query(self, query: Query | dict, decode: bool = True) -> dict:
+        """Run one query; with ``decode`` the response's ``table`` is a
+        rebuilt :class:`~repro.frame.table.Table`."""
+        if isinstance(query, Query):
+            query = query.to_dict()
+        resp = self.request(
+            {"op": "query", "query": query, "tenant": self.tenant}
+        )
+        if decode and isinstance(resp.get("table"), dict):
+            resp["table"] = table_from_wire(resp["table"])
+        return resp
+
+    def stats(self) -> dict:
+        return self.request({"op": "stats"})["stats"]
+
+    def ping(self) -> bool:
+        return self.request({"op": "ping"}).get("status") == "ok"

@@ -1,0 +1,208 @@
+"""Query planning: a validated :class:`~repro.serve.query.Query` becomes a
+shard-level execution plan over a :class:`~repro.parallel.partition.PartitionedDataset`.
+
+Planning reuses the whole pushdown stack the batch pipeline built:
+
+* **predicate** — :meth:`~repro.parallel.partition.PartitionedDataset.select_time`
+  prunes shards through manifest zone maps before a byte is mapped, and a
+  node/cabinet selection additionally prunes through
+  :meth:`~repro.parallel.partition.PartitionedDataset.select_where` on the
+  ``by`` column's zones;
+* **projection** — only ``by`` + ``time`` + the requested metrics are read
+  from each surviving shard (zero-copy column maps on ``.rcs``);
+* **kernels** — per-shard work is exactly the fused pipeline's sequence
+  (:func:`~repro.core.coarsen.coarsen_telemetry` then
+  :func:`~repro.core.aggregate.cluster_power_series`), so a cluster-level
+  plan's result is **bit-identical** to
+  :meth:`repro.pipeline.runner.Pipeline.telemetry_series` for the same
+  selection (asserted by ``tests/serve`` and the service benchmark).
+
+Shard tasks (:meth:`QueryPlan.run_shard`) are independent and side-effect
+free, so the server fans them out across a worker pool; the tiny
+per-shard results are merged by :meth:`QueryPlan.finalize` on the way out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.config import SUMMIT
+from repro.frame.table import Table, concat
+from repro.parallel.partition import PartitionedDataset
+from repro.serve.query import Query, QueryError
+
+__all__ = ["QueryPlan", "plan_query"]
+
+
+@dataclass
+class QueryPlan:
+    """An executable plan: which shards to touch and what to do per shard.
+
+    ``shards`` are the manifest indices that survived zone-map pruning;
+    ``n_shards_total`` lets callers report how many were skipped.
+    """
+
+    query: Query
+    dataset: PartitionedDataset
+    projection: list[str]
+    t_lo: float
+    t_hi: float
+    shards: list[int]
+    n_shards_total: int
+    node_ids: tuple[int, ...] | None = None
+    _node_array: np.ndarray | None = field(default=None, repr=False)
+
+    @property
+    def n_shards_pruned(self) -> int:
+        return self.n_shards_total - len(self.shards)
+
+    @property
+    def rows_in(self) -> int:
+        """Manifest row count across the shards the plan will touch."""
+        return sum(self.dataset.partitions[i].n_rows for i in self.shards)
+
+    # ---------------- execution ----------------
+
+    def _filter_nodes(self, table: Table) -> Table:
+        if self._node_array is None:
+            return table
+        mask = np.isin(
+            np.asarray(table[self.query.by]), self._node_array
+        )
+        return table if mask.all() else table.filter(mask)
+
+    def run_shard(self, index: int) -> Table:
+        """Read one shard (projected, time-sliced), filter the node
+        selection, and run the per-shard kernels for the query's level."""
+        return self.run_shard_table(
+            self.dataset.read_time_range(
+                index, self.t_lo, self.t_hi,
+                columns=self.projection, time=self.query.time,
+            )
+        )
+
+    def finalize(self, tables: list[Table]) -> Table:
+        """Merge per-shard results into the query's answer table.
+
+        Shard edges are aligned by the dataset writers, so per-shard
+        aggregation followed by this merge matches one global pass; the
+        final sort restores the single-pass row order (``timestamp`` for
+        cluster level, group-major for node level, archive order for raw).
+        """
+        q = self.query
+        tables = [t for t in tables if t.n_rows]
+        if not tables:
+            return self._empty_result()
+        if q.level == "raw":
+            return tables[0] if len(tables) == 1 else concat(tables)
+        merged = concat(tables) if len(tables) > 1 else tables[0]
+        if q.level == "node":
+            merged = merged.sort([q.by, q.time])
+        else:
+            merged = merged.sort(q.time)
+        return self._derive(merged)
+
+    def _empty_result(self) -> Table:
+        """A zero-row table with the level's exact schema (run the same
+        kernels over an empty projected slice)."""
+        empty = self.dataset.read_time_range(
+            self.shards[0] if self.shards else 0,
+            -np.inf, -np.inf, columns=self.projection, time=self.query.time,
+        )
+        if self.query.level == "raw":
+            return empty
+        out = self.run_shard_table(empty)
+        return self._derive(out) if self.query.level == "cluster" else out
+
+    def run_shard_table(self, sub: Table) -> Table:
+        """The per-shard kernel chain (node filter, coarsen, aggregate)
+        applied to one projected slice."""
+        from repro.core.aggregate import cluster_power_series
+        from repro.core.coarsen import coarsen_telemetry
+
+        q = self.query
+        sub = self._filter_nodes(sub)
+        if q.level == "raw":
+            return sub
+        coarse = coarsen_telemetry(
+            sub, list(q.metrics), width=q.width, by=(q.by,), time=q.time,
+            drop_nan=True,
+        )
+        return (
+            coarse if q.level == "node"
+            else cluster_power_series(coarse, value=q.metrics[0])
+        )
+
+    def _derive(self, series: Table) -> Table:
+        """Append the derived columns (cluster level only)."""
+        q = self.query
+        if q.derived != "pue":
+            return series
+        from repro.core.pue import pue_series
+
+        it = np.asarray(series["sum_inp"], dtype=np.float64)
+        return series.with_column(
+            "pue", pue_series(it, q.pue_overhead * it)
+        )
+
+    def execute(self) -> Table:
+        """Run every shard serially and finalize (the in-process path; the
+        server fans :meth:`run_shard` out across its worker pool instead)."""
+        return self.finalize([self.run_shard(i) for i in self.shards])
+
+
+def plan_query(
+    query: Query,
+    dataset: PartitionedDataset,
+    nodes_per_cabinet: int = SUMMIT.nodes_per_cabinet,
+) -> QueryPlan:
+    """Validate ``query`` against ``dataset`` and build its plan.
+
+    Raises :class:`~repro.serve.query.QueryError` for queries the store
+    cannot answer (unknown metric/time/by columns, empty dataset).
+    """
+    query.validate()
+    if not dataset.partitions:
+        raise QueryError(f"dataset {dataset.name!r} is empty")
+    known = dataset.column_names
+    if known is not None:
+        missing = [
+            c for c in (*query.metrics, query.time, query.by)
+            if c not in known
+        ]
+        if missing:
+            raise QueryError(
+                f"dataset {dataset.name!r} has no columns {missing}; "
+                f"available: {known}"
+            )
+
+    projection = list(
+        dict.fromkeys([query.by, query.time, *query.metrics])
+    )
+    t_lo = -np.inf if query.t_begin is None else query.t_begin
+    t_hi = np.inf if query.t_end is None else query.t_end
+
+    shards = dataset.select_time(t_lo, t_hi, time=query.time)
+    node_ids = query.node_selection(nodes_per_cabinet)
+    node_array = None
+    if node_ids is not None:
+        node_array = np.asarray(node_ids, dtype=np.int64)
+        keep = set(
+            dataset.select_where(query.by, float(node_ids[0]),
+                                 float(node_ids[-1]))
+        )
+        shards = [i for i in shards if i in keep]
+
+    return QueryPlan(
+        query=query,
+        dataset=dataset,
+        projection=projection,
+        t_lo=float(t_lo),
+        t_hi=float(t_hi),
+        shards=shards,
+        n_shards_total=dataset.n_partitions,
+        node_ids=node_ids,
+        _node_array=node_array,
+    )

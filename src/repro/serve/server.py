@@ -1,0 +1,362 @@
+"""The query service and its TCP front end.
+
+:class:`QueryService` is the in-process engine: one event loop accepting
+declarative :class:`~repro.serve.query.Query` objects, answering them from
+the :class:`~repro.serve.cache.ResultCache`, collapsing identical
+concurrent queries through :class:`~repro.serve.cache.SingleFlight`, and
+executing cache misses by fanning the plan's shard tasks out over a
+thread pool (shard reads release the GIL in numpy/mmap, so threads give
+real overlap without process-spawn cost).
+
+:class:`TelemetryServer` exposes the service over TCP with a
+newline-delimited-JSON protocol: each request line is
+``{"op": "query"|"stats"|"ping", ...}``; each response line is one JSON
+object with a ``status`` of ``ok``, ``rejected``, or ``error``.  Result
+tables travel as ``{"dtypes": {col: dtype}, "columns": {col: [values]}}``
+(see :func:`table_to_wire`), which round-trips float64 exactly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import SUMMIT
+from repro.frame.table import Table
+from repro.parallel.partition import PartitionedDataset
+from repro.pipeline.cache import ArtifactCache
+from repro.serve.cache import ResultCache, SingleFlight
+from repro.serve.planner import plan_query
+from repro.serve.query import Query, QueryError
+from repro.serve.session import Admission, RejectedError
+from repro.serve.stats import ServiceStats
+
+__all__ = [
+    "ServiceConfig",
+    "QueryService",
+    "TelemetryServer",
+    "table_to_wire",
+    "table_from_wire",
+]
+
+
+def table_to_wire(table: Table) -> dict:
+    """JSON-safe form of a table (column lists + dtype strings).
+
+    ``float64.tolist()`` yields Python floats and ``json`` emits their
+    shortest round-trip repr, so numeric payloads survive the wire
+    bit-identically.
+    """
+    return {
+        "dtypes": {c: str(table[c].dtype) for c in table.columns},
+        "columns": {c: table[c].tolist() for c in table.columns},
+    }
+
+
+def table_from_wire(raw: dict) -> Table:
+    """Rebuild a :class:`~repro.frame.table.Table` from its wire form."""
+    dtypes = raw.get("dtypes", {})
+    return Table(
+        {
+            name: np.asarray(values, dtype=dtypes.get(name))
+            for name, values in raw["columns"].items()
+        }
+    )
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Service knobs (admission bounds, cache tiers, worker pool)."""
+
+    max_inflight: int = 8
+    max_queue: int = 16
+    tenant_inflight: int = 4
+    cache_bytes: int = 64 << 20
+    spill_dir: str | os.PathLike | None = None
+    workers: int | None = None
+    nodes_per_cabinet: int = SUMMIT.nodes_per_cabinet
+
+
+class QueryService:
+    """Async multi-tenant query engine over one partitioned dataset.
+
+    Per query, in order: result-cache lookup (``cache: "hit"``),
+    single-flight follow (``"shared"``), admission control, then plan +
+    fan-out execution (``"miss"``).  Hits and followers bypass admission
+    entirely — they cost no worker, so capacity stays reserved for
+    queries that actually scan shards.
+    """
+
+    def __init__(
+        self,
+        dataset: PartitionedDataset | str | os.PathLike,
+        config: ServiceConfig | None = None,
+    ):
+        if not isinstance(dataset, PartitionedDataset):
+            dataset = PartitionedDataset(dataset)
+        self.dataset = dataset
+        self.config = config or ServiceConfig()
+        spill = (
+            ArtifactCache(self.config.spill_dir)
+            if self.config.spill_dir is not None
+            else None
+        )
+        self.cache = ResultCache(self.config.cache_bytes, spill=spill)
+        self.flight = SingleFlight()
+        self.admission = Admission(
+            max_inflight=self.config.max_inflight,
+            max_queue=self.config.max_queue,
+            tenant_inflight=self.config.tenant_inflight,
+        )
+        self.stats = ServiceStats()
+        workers = self.config.workers
+        if workers is None:
+            from repro.parallel.executor import default_workers
+
+            workers = default_workers()
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="serve"
+        )
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True)
+
+    # ---------------- the query path ----------------
+
+    async def query(self, query: Query | dict, tenant: str = "default") -> dict:
+        """Answer one query; always returns a response dict, never raises
+        for malformed/rejected queries.
+
+        The response's ``table`` value is a live
+        :class:`~repro.frame.table.Table` (the TCP layer converts it with
+        :func:`table_to_wire` before serialization).
+        """
+        t0 = time.perf_counter()
+        st = self.admission.tenant(tenant)
+        st.queries += 1
+        try:
+            if isinstance(query, dict):
+                query = Query.from_dict(query)
+            query.validate()
+            key = query.fingerprint()
+        except QueryError as err:
+            st.errors += 1
+            self.stats.record_error()
+            return {"status": "error", "error": str(err)}
+
+        cached = self.cache.get(key)
+        if cached is not None:
+            return self._ok(query, tenant, cached, "hit", t0, 0.0)
+
+        if not self.flight.leader(key):
+            # an identical query is already executing: share its outcome
+            try:
+                table, meta = await self.flight.wait(key)
+            except RejectedError as err:
+                st.rejected += 1
+                self.stats.record_rejected()
+                return {"status": "rejected", "reason": err.reason}
+            except QueryError as err:
+                st.errors += 1
+                self.stats.record_error()
+                return {"status": "error", "error": str(err)}
+            return self._ok(query, tenant, table, "shared", t0, 0.0, meta)
+
+        # leader: the flight is registered, so admission's verdict (and
+        # any execution failure) propagates to every follower
+        try:
+            queued_s = await self.admission.admit(tenant)
+        except RejectedError as err:
+            self.flight.fail(key, err)
+            self.stats.record_rejected()
+            return {"status": "rejected", "reason": err.reason}
+        try:
+            e0 = time.perf_counter()
+            plan = plan_query(
+                query, self.dataset,
+                nodes_per_cabinet=self.config.nodes_per_cabinet,
+            )
+            loop = asyncio.get_running_loop()
+            parts = await asyncio.gather(
+                *(
+                    loop.run_in_executor(self._pool, plan.run_shard, i)
+                    for i in plan.shards
+                )
+            )
+            table = await loop.run_in_executor(
+                self._pool, plan.finalize, list(parts)
+            )
+            exec_s = time.perf_counter() - e0
+        except QueryError as err:
+            self.flight.fail(key, err)
+            st.errors += 1
+            self.stats.record_error()
+            return {"status": "error", "error": str(err)}
+        except BaseException as err:
+            self.flight.fail(key, err)
+            raise
+        finally:
+            self.admission.release(tenant)
+        meta = {
+            "scanned": len(plan.shards),
+            "pruned": plan.n_shards_pruned,
+            "exec_s": exec_s,
+        }
+        self.cache.put(key, table)
+        self.flight.resolve(key, (table, meta))
+        return self._ok(query, tenant, table, "miss", t0, queued_s, meta)
+
+    def _ok(
+        self,
+        query: Query,
+        tenant: str,
+        table: Table,
+        cache: str,
+        t0: float,
+        queued_s: float,
+        meta: dict | None = None,
+    ) -> dict:
+        elapsed = time.perf_counter() - t0
+        st = self.admission.tenant(tenant)
+        st.ok += 1
+        st.rows_served += table.n_rows
+        st.wall_s += elapsed
+        if cache == "hit":
+            st.cache_hits += 1
+        self.stats.record_ok(
+            cache=cache,
+            rows=table.n_rows,
+            elapsed_s=elapsed,
+            shards_scanned=meta["scanned"] if cache == "miss" and meta else 0,
+            shards_pruned=meta["pruned"] if cache == "miss" and meta else 0,
+            executed_s=meta["exec_s"] if cache == "miss" and meta else None,
+        )
+        resp = {
+            "status": "ok",
+            "cache": cache,
+            "level": query.level,
+            "rows": table.n_rows,
+            "elapsed_s": round(elapsed, 6),
+            "queued_s": round(queued_s, 6),
+            "table": table,
+        }
+        if meta is not None:
+            resp["shards"] = {"scanned": meta["scanned"],
+                              "pruned": meta["pruned"]}
+        return resp
+
+    def snapshot(self) -> dict:
+        """Counters for the ``stats`` op (includes cache tiers)."""
+        out = self.stats.snapshot(self.admission)
+        out["result_cache"] = {
+            "entries": self.cache.n_entries,
+            "bytes": self.cache.n_bytes,
+            "hits": self.cache.hits,
+            "misses": self.cache.misses,
+            "evictions": self.cache.evictions,
+            "spill_hits": self.cache.spill_hits,
+        }
+        out["dataset"] = {
+            "name": self.dataset.name,
+            "partitions": self.dataset.n_partitions,
+            "rows": self.dataset.n_rows,
+        }
+        return out
+
+    def report(self) -> str:
+        return self.stats.report(self.admission)
+
+
+class TelemetryServer:
+    """Newline-delimited-JSON TCP front end over a :class:`QueryService`.
+
+    One request per line; responses come back in request order per
+    connection (concurrency comes from concurrent connections).  Ops:
+
+    * ``{"op": "query", "query": {...}, "tenant": "name"}``
+    * ``{"op": "stats"}``
+    * ``{"op": "ping"}``
+    """
+
+    def __init__(
+        self,
+        service: QueryService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: asyncio.AbstractServer | None = None
+
+    async def start(self) -> tuple[str, int]:
+        """Bind and start accepting; returns the bound (host, port)."""
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        self.host, self.port = self._server.sockets[0].getsockname()[:2]
+        return self.host, self.port
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                resp = await self._dispatch(line)
+                writer.write(
+                    json.dumps(resp, separators=(",", ":")).encode() + b"\n"
+                )
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _dispatch(self, line: bytes) -> dict:
+        try:
+            req = json.loads(line)
+        except json.JSONDecodeError as err:
+            return {"status": "error", "error": f"bad JSON request: {err}"}
+        if not isinstance(req, dict):
+            return {"status": "error", "error": "request must be an object"}
+        op = req.get("op", "query")
+        if op == "ping":
+            return {"status": "ok", "op": "ping"}
+        if op == "stats":
+            return {"status": "ok", "op": "stats",
+                    "stats": self.service.snapshot()}
+        if op == "query":
+            resp = dict(
+                await self.service.query(
+                    req.get("query") or {}, tenant=req.get("tenant", "default")
+                )
+            )
+            table = resp.get("table")
+            if isinstance(table, Table):
+                resp["table"] = table_to_wire(table)
+            return resp
+        return {"status": "error", "error": f"unknown op {op!r}"}

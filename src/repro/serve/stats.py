@@ -1,0 +1,184 @@
+"""Service observability: query counters, tail latency, per-tenant table.
+
+The counters answer the operational questions a shared telemetry front end
+gets asked: how many queries, how many served from cache, what do p50/p99
+look like, who is being throttled.  Latencies are kept in a bounded
+reservoir (the most recent ``capacity`` samples), so a long-running server
+reports *current* tail behavior, not a year-long average.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.core.report import render_table
+from repro.serve.session import Admission
+
+__all__ = ["LatencyReservoir", "ServiceStats"]
+
+
+class LatencyReservoir:
+    """The most recent ``capacity`` latency samples, in seconds."""
+
+    def __init__(self, capacity: int = 8192):
+        self._samples: deque[float] = deque(maxlen=capacity)
+        self.count = 0
+
+    def add(self, seconds: float) -> None:
+        self._samples.append(float(seconds))
+        self.count += 1
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def percentile(self, q: float) -> float:
+        """The q-th percentile (seconds); NaN with no samples."""
+        if not self._samples:
+            return float("nan")
+        return float(np.percentile(np.fromiter(self._samples, float), q))
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50.0)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99.0)
+
+    @property
+    def mean(self) -> float:
+        if not self._samples:
+            return float("nan")
+        return float(np.mean(np.fromiter(self._samples, float)))
+
+
+class ServiceStats:
+    """Aggregated counters for one :class:`~repro.serve.server.QueryService`."""
+
+    def __init__(self):
+        self.queries = 0
+        self.ok = 0
+        self.rejected = 0
+        self.errors = 0
+        self.cache_hits = 0
+        self.cache_shared = 0   # single-flight followers
+        self.executed = 0       # plans that actually ran shard tasks
+        self.rows_served = 0
+        self.shards_scanned = 0
+        self.shards_pruned = 0
+        self.latency = LatencyReservoir()
+        self.exec_latency = LatencyReservoir()
+
+    # ---------------- recording ----------------
+
+    def record_ok(
+        self,
+        *,
+        cache: str,
+        rows: int,
+        elapsed_s: float,
+        shards_scanned: int = 0,
+        shards_pruned: int = 0,
+        executed_s: float | None = None,
+    ) -> None:
+        self.queries += 1
+        self.ok += 1
+        self.rows_served += rows
+        self.latency.add(elapsed_s)
+        if cache == "hit":
+            self.cache_hits += 1
+        elif cache == "shared":
+            self.cache_shared += 1
+        else:
+            self.executed += 1
+            self.shards_scanned += shards_scanned
+            self.shards_pruned += shards_pruned
+            if executed_s is not None:
+                self.exec_latency.add(executed_s)
+
+    def record_rejected(self) -> None:
+        self.queries += 1
+        self.rejected += 1
+
+    def record_error(self) -> None:
+        self.queries += 1
+        self.errors += 1
+
+    # ---------------- views ----------------
+
+    @property
+    def cache_hit_ratio(self) -> float:
+        """Served-without-executing fraction (hits + shared) of OK queries."""
+        if not self.ok:
+            return 0.0
+        return (self.cache_hits + self.cache_shared) / self.ok
+
+    def snapshot(self, admission: Admission | None = None) -> dict:
+        """JSON-safe counters (the wire answer to the ``stats`` op)."""
+        out = {
+            "queries": self.queries,
+            "ok": self.ok,
+            "rejected": self.rejected,
+            "errors": self.errors,
+            "cache_hits": self.cache_hits,
+            "cache_shared": self.cache_shared,
+            "executed": self.executed,
+            "rows_served": self.rows_served,
+            "shards_scanned": self.shards_scanned,
+            "shards_pruned": self.shards_pruned,
+            "p50_ms": round(self.latency.p50 * 1e3, 3),
+            "p99_ms": round(self.latency.p99 * 1e3, 3),
+        }
+        if admission is not None:
+            out["running"] = admission.running
+            out["queued"] = admission.waiting
+            out["rejected_capacity"] = admission.rejected_capacity
+            out["rejected_quota"] = admission.rejected_quota
+            out["tenants"] = {
+                name: {
+                    "queries": t.queries,
+                    "ok": t.ok,
+                    "rejected": t.rejected,
+                    "queued": t.queued,
+                    "cache_hits": t.cache_hits,
+                    "rows_served": t.rows_served,
+                }
+                for name, t in sorted(admission.tenants.items())
+            }
+        return out
+
+    def report(self, admission: Admission | None = None) -> str:
+        """Rendered counter tables (the ``serve`` CLI's exit summary)."""
+        def ms(v: float) -> str:
+            return "-" if np.isnan(v) else f"{v * 1e3:.1f}"
+
+        rows = [
+            ["queries", self.queries],
+            ["ok / rejected / errors",
+             f"{self.ok} / {self.rejected} / {self.errors}"],
+            ["cache hits / shared / executed",
+             f"{self.cache_hits} / {self.cache_shared} / {self.executed}"],
+            ["rows served", f"{self.rows_served:,}"],
+            ["shards scanned / pruned",
+             f"{self.shards_scanned} / {self.shards_pruned}"],
+            ["latency p50 / p99 (ms)",
+             f"{ms(self.latency.p50)} / {ms(self.latency.p99)}"],
+            ["exec p50 / p99 (ms)",
+             f"{ms(self.exec_latency.p50)} / {ms(self.exec_latency.p99)}"],
+        ]
+        text = render_table(["counter", "value"], rows, title="query service")
+        if admission is None or not admission.tenants:
+            return text
+        tenant_rows = [
+            [t.name, t.queries, t.ok, t.rejected, t.queued, t.cache_hits,
+             f"{t.rows_served:,}", f"{t.wall_s:.3f}"]
+            for t in sorted(admission.tenants.values(), key=lambda t: t.name)
+        ]
+        return text + "\n" + render_table(
+            ["tenant", "queries", "ok", "rejected", "queued", "hits",
+             "rows", "seconds"],
+            tenant_rows,
+            title="tenants",
+        )

@@ -1,0 +1,30 @@
+"""Shared fixtures for the query-service tests: one small twin's raw
+telemetry archived as a partitioned dataset (session-scoped — simulation
+and archival are the expensive part; tests treat the dataset as
+read-only)."""
+
+import pytest
+
+from repro.datasets import SimulationSpec, simulate_twin
+from repro.datasets.store import write_partitioned_series
+
+SPEC = SimulationSpec(n_nodes=36, n_jobs=120, horizon_s=1800.0, seed=7)
+SHARD_S = 300.0
+
+
+@pytest.fixture(scope="session")
+def serve_twin():
+    return simulate_twin(SPEC)
+
+
+@pytest.fixture(scope="session")
+def telemetry(serve_twin):
+    arrays = serve_twin.builder.build(0.0, SPEC.horizon_s, 1.0)
+    return serve_twin.sampler().sample(arrays)
+
+
+@pytest.fixture(scope="session")
+def dataset(telemetry, tmp_path_factory):
+    root = tmp_path_factory.mktemp("serve_ds")
+    return write_partitioned_series(telemetry, root, "telemetry",
+                                    day_s=SHARD_S)

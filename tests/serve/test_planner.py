@@ -1,0 +1,152 @@
+"""Planner correctness: pushdown pruning and bit-identity with the batch
+pipeline's kernels (the service must be a different *route* to the same
+numbers, never a different answer)."""
+
+import numpy as np
+import pytest
+
+from repro.core.aggregate import cluster_power_series
+from repro.core.coarsen import coarsen_telemetry
+from repro.core.pue import pue_series
+from repro.pipeline import Pipeline, PipelineConfig
+from repro.serve import Query, QueryError, plan_query
+
+from .conftest import SPEC, SHARD_S
+
+
+def _reference_cluster(telemetry, t0, t1, width=10.0, nodes=None,
+                       metric="input_power"):
+    """Single-pass ground truth: mask, coarsen, aggregate."""
+    t = np.asarray(telemetry["timestamp"], dtype=np.float64)
+    sub = telemetry.filter((t >= t0) & (t < t1))
+    if nodes is not None:
+        sub = sub.filter(np.isin(np.asarray(sub["node"]), nodes))
+    coarse = coarsen_telemetry(sub, [metric], width=width, by=("node",),
+                               drop_nan=True)
+    return cluster_power_series(coarse, value=metric)
+
+
+class TestBitIdentity:
+    def test_cluster_matches_pipeline_fused_path(self, dataset):
+        """Acceptance criterion: service plan == Pipeline.telemetry_series
+        bit-for-bit over the same archived dataset."""
+        out = plan_query(
+            Query(t_begin=0.0, t_end=SPEC.horizon_s, width=10.0), dataset
+        ).execute()
+        pipe = Pipeline(SPEC, PipelineConfig(backend="serial"))
+        ref = pipe.telemetry_series(dataset, value="input_power", width=10.0,
+                                    t_begin=0.0, t_end=SPEC.horizon_s)
+        assert out == ref
+
+    def test_cluster_matches_single_pass(self, dataset, telemetry):
+        out = plan_query(
+            Query(t_begin=300.0, t_end=1200.0, width=10.0), dataset
+        ).execute()
+        assert out == _reference_cluster(telemetry, 300.0, 1200.0)
+
+    def test_node_filter_matches_single_pass(self, dataset, telemetry):
+        sel = (3, 7, 20)
+        out = plan_query(
+            Query(t_begin=0.0, t_end=900.0, nodes=sel, width=10.0), dataset
+        ).execute()
+        ref = _reference_cluster(telemetry, 0.0, 900.0,
+                                 nodes=np.asarray(sel))
+        assert out == ref
+
+    def test_cabinet_filter_matches_explicit_nodes(self, dataset):
+        by_cabinet = plan_query(Query(t_begin=0.0, t_end=600.0,
+                                      cabinets=(1,)), dataset).execute()
+        by_nodes = plan_query(Query(t_begin=0.0, t_end=600.0,
+                                    nodes=tuple(range(18, 36))),
+                              dataset).execute()
+        assert by_cabinet == by_nodes
+
+    def test_open_range_equals_full_range(self, dataset):
+        full = plan_query(Query(), dataset).execute()
+        explicit = plan_query(
+            Query(t_begin=0.0, t_end=SPEC.horizon_s + 10.0), dataset
+        ).execute()
+        assert full == explicit
+
+
+class TestLevels:
+    def test_node_level_multi_metric(self, dataset, telemetry):
+        q = Query(t_begin=0.0, t_end=600.0, level="node",
+                  metrics=("input_power", "gpu_power_total"), width=10.0)
+        out = plan_query(q, dataset).execute()
+        t = np.asarray(telemetry["timestamp"], dtype=np.float64)
+        sub = telemetry.filter((t >= 0.0) & (t < 600.0))
+        ref = coarsen_telemetry(
+            sub, ["input_power", "gpu_power_total"], width=10.0,
+            by=("node",), drop_nan=True,
+        ).sort(["node", "timestamp"])
+        assert out == ref
+
+    def test_raw_level_is_projected_slice(self, dataset, telemetry):
+        q = Query(t_begin=100.0, t_end=160.0, nodes=(2, 9), level="raw")
+        out = plan_query(q, dataset).execute()
+        t = np.asarray(telemetry["timestamp"], dtype=np.float64)
+        ref = telemetry.filter((t >= 100.0) & (t < 160.0))
+        ref = ref.filter(np.isin(np.asarray(ref["node"]), [2, 9]))
+        ref = ref.select(["node", "timestamp", "input_power"])
+        assert out.n_rows == ref.n_rows
+        for c in out.columns:
+            assert np.array_equal(np.sort(np.asarray(out[c])),
+                                  np.sort(np.asarray(ref[c]))), c
+
+    def test_derived_pue_columns(self, dataset):
+        q = Query(t_begin=0.0, t_end=600.0, derived="pue",
+                  pue_overhead=0.08)
+        out = plan_query(q, dataset).execute()
+        assert "pue" in out
+        it = np.asarray(out["sum_inp"], dtype=np.float64)
+        assert np.array_equal(np.asarray(out["pue"]),
+                              pue_series(it, 0.08 * it))
+
+
+class TestPushdown:
+    def test_zone_map_shard_pruning(self, dataset):
+        plan = plan_query(Query(t_begin=0.0, t_end=SHARD_S), dataset)
+        assert len(plan.shards) == 1
+        assert plan.n_shards_pruned == dataset.n_partitions - 1
+        assert plan.rows_in < dataset.n_rows
+
+    def test_projection_is_minimal(self, dataset):
+        plan = plan_query(Query(metrics=("gpu_power_total",)), dataset)
+        assert plan.projection == ["node", "timestamp", "gpu_power_total"]
+
+    def test_empty_range_has_result_schema(self, dataset):
+        out = plan_query(
+            Query(t_begin=1e9, t_end=2e9, derived="pue"), dataset
+        ).execute()
+        assert out.n_rows == 0
+        assert out.columns == ["timestamp", "count_inp", "sum_inp",
+                               "mean_inp", "max_inp", "pue"]
+
+    def test_empty_node_level_schema(self, dataset):
+        out = plan_query(
+            Query(t_begin=1e9, t_end=2e9, level="node"), dataset
+        ).execute()
+        assert out.n_rows == 0
+        assert "input_power_mean" in out.columns
+
+
+class TestPlanErrors:
+    def test_unknown_metric(self, dataset):
+        with pytest.raises(QueryError, match="no columns"):
+            plan_query(Query(metrics=("warp_core_power",)), dataset)
+
+    def test_unknown_time_column(self, dataset):
+        with pytest.raises(QueryError):
+            plan_query(Query(time="arrival"), dataset)
+
+    def test_empty_dataset(self, tmp_path):
+        from repro.parallel.partition import PartitionedDataset
+
+        empty = PartitionedDataset.create(tmp_path / "empty", "empty")
+        with pytest.raises(QueryError, match="empty"):
+            plan_query(Query(), empty)
+
+    def test_invalid_query_rejected_at_planning(self, dataset):
+        with pytest.raises(QueryError):
+            plan_query(Query(level="warp"), dataset)

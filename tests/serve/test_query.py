@@ -1,0 +1,131 @@
+"""Query canonicalization, validation, and fingerprint identity."""
+
+import pytest
+
+from repro.serve import DERIVED, LEVELS, Query, QueryError
+
+
+class TestCanonicalization:
+    def test_nodes_sorted_deduped(self):
+        q = Query(nodes=[5, 1, 5, 3])
+        assert q.nodes == (1, 3, 5)
+
+    def test_cabinets_sorted_deduped(self):
+        q = Query(cabinets=(2, 0, 2))
+        assert q.cabinets == (0, 2)
+
+    def test_metrics_deduped_order_preserved(self):
+        q = Query(metrics=["gpu_power_total", "input_power",
+                           "gpu_power_total"])
+        assert q.metrics == ("gpu_power_total", "input_power")
+
+    def test_metrics_string_rejected(self):
+        with pytest.raises(QueryError):
+            Query(metrics="input_power")
+
+    def test_floats_coerced(self):
+        q = Query(t_begin=0, t_end=60, width=5)
+        assert isinstance(q.t_begin, float)
+        assert isinstance(q.t_end, float)
+        assert isinstance(q.width, float)
+
+    def test_negative_node_rejected(self):
+        with pytest.raises(QueryError):
+            Query(nodes=(-1, 2))
+
+    def test_non_integer_nodes_rejected(self):
+        with pytest.raises(QueryError):
+            Query(nodes=("cab-3",))
+
+
+class TestValidation:
+    def test_default_query_valid(self):
+        Query().validate()
+
+    @pytest.mark.parametrize("bad", [
+        dict(level="warp"),
+        dict(metrics=()),
+        dict(width=0.0),
+        dict(width=-1.0),
+        dict(t_begin=10.0, t_end=10.0),
+        dict(t_begin=10.0, t_end=5.0),
+        dict(metrics=("a", "b")),                      # cluster: one metric
+        dict(derived="entropy"),
+        dict(derived="pue", level="node",
+             metrics=("input_power",)),
+        dict(derived="pue", pue_overhead=-0.5),
+    ])
+    def test_rejects(self, bad):
+        kw = dict(metrics=("input_power",))
+        kw.update(bad)
+        with pytest.raises(QueryError):
+            Query(**kw).validate()
+
+    def test_node_level_multi_metric_ok(self):
+        Query(level="node", metrics=("input_power", "gpu_power_total")
+              ).validate()
+
+    def test_levels_and_derived_exported(self):
+        assert "cluster" in LEVELS
+        assert "pue" in DERIVED
+
+
+class TestNodeSelection:
+    def test_none_means_all(self):
+        assert Query().node_selection() is None
+
+    def test_cabinet_expands(self):
+        q = Query(cabinets=(1,))
+        assert q.node_selection(nodes_per_cabinet=4) == (4, 5, 6, 7)
+
+    def test_union_of_nodes_and_cabinets(self):
+        q = Query(nodes=(0, 5), cabinets=(1,))
+        assert q.node_selection(nodes_per_cabinet=4) == (0, 4, 5, 6, 7)
+
+
+class TestFingerprint:
+    def test_spelling_invariant(self):
+        a = Query(nodes=[3, 1, 1], t_begin=0, t_end=60)
+        b = Query(nodes=(1, 3), t_begin=0.0, t_end=60.0)
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_sensitive_to_selection(self):
+        base = Query(t_begin=0.0, t_end=60.0)
+        assert base.fingerprint() != Query(t_begin=0.0, t_end=120.0
+                                           ).fingerprint()
+        assert base.fingerprint() != Query(t_begin=0.0, t_end=60.0,
+                                           nodes=(1,)).fingerprint()
+        assert base.fingerprint() != Query(t_begin=0.0, t_end=60.0,
+                                           level="node").fingerprint()
+        assert base.fingerprint() != Query(t_begin=0.0, t_end=60.0,
+                                           derived="pue").fingerprint()
+
+    def test_is_hex_sha256(self):
+        fp = Query().fingerprint()
+        assert len(fp) == 64
+        assert set(fp) <= set("0123456789abcdef")
+
+
+class TestWireForm:
+    def test_round_trip(self):
+        q = Query(t_begin=0.0, t_end=600.0, nodes=(2, 7), width=5.0,
+                  level="node", metrics=("input_power", "p0_power"))
+        assert Query.from_dict(q.to_dict()) == q
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(QueryError, match="levle"):
+            Query.from_dict({"levle": "cluster"})
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(QueryError):
+            Query.from_dict([1, 2])
+
+    def test_malformed_value_becomes_query_error(self):
+        with pytest.raises(QueryError):
+            Query.from_dict({"width": "wide"})
+
+    def test_with_range(self):
+        q = Query(t_begin=0.0, t_end=600.0)
+        r = q.with_range(100.0, 200.0)
+        assert (r.t_begin, r.t_end) == (100.0, 200.0)
+        assert r.metrics == q.metrics

@@ -1,0 +1,234 @@
+"""End-to-end service behavior: cache tiers, single-flight sharing,
+explicit overload rejection, and the TCP wire protocol."""
+
+import asyncio
+import threading
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.frame.table import Table
+from repro.serve import (
+    Query,
+    QueryClient,
+    QueryService,
+    ServiceConfig,
+    TelemetryServer,
+    table_from_wire,
+    table_to_wire,
+)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+@pytest.fixture()
+def service(dataset):
+    svc = QueryService(dataset, ServiceConfig(max_inflight=2, max_queue=2,
+                                              tenant_inflight=2, workers=2))
+    yield svc
+    svc.close()
+
+
+class TestQueryFlow:
+    def test_miss_then_hit_identical(self, service):
+        async def main():
+            q = Query(t_begin=0.0, t_end=900.0)
+            cold = await service.query(q)
+            warm = await service.query(q)
+            return cold, warm
+
+        cold, warm = run(main())
+        assert (cold["status"], cold["cache"]) == ("ok", "miss")
+        assert cold["shards"]["pruned"] > 0
+        assert (warm["status"], warm["cache"]) == ("ok", "hit")
+        assert warm["table"] == cold["table"]
+        assert service.stats.cache_hit_ratio == 0.5
+
+    def test_identical_burst_executes_once(self, service):
+        async def main():
+            q = Query(t_begin=0.0, t_end=1200.0, width=20.0)
+            return await asyncio.gather(
+                *[service.query(q, tenant=f"t{i}") for i in range(6)]
+            )
+
+        results = run(main())
+        kinds = Counter(r["cache"] for r in results)
+        assert kinds == {"miss": 1, "shared": 5}
+        assert len({id(r["table"]) for r in results}) == 1
+        assert service.stats.executed == 1
+
+    def test_malformed_query_is_error_response(self, service):
+        resp = run(service.query({"level": "warp"}))
+        assert resp["status"] == "error"
+        assert "warp" in resp["error"]
+        resp = run(service.query({"no_such_knob": 1}))
+        assert resp["status"] == "error"
+
+    def test_unanswerable_query_is_error_response(self, service):
+        resp = run(service.query(Query(metrics=("flux_capacitor",))))
+        assert resp["status"] == "error"
+        assert "flux_capacitor" in resp["error"]
+
+    def test_overload_rejects_instead_of_hanging(self, dataset):
+        svc = QueryService(dataset, ServiceConfig(max_inflight=1, max_queue=1,
+                                                  tenant_inflight=1,
+                                                  workers=1))
+        try:
+            async def main():
+                queries = [Query(t_begin=0.0, t_end=1500.0,
+                                 width=float(10 + i)) for i in range(8)]
+                return await asyncio.gather(
+                    *[svc.query(q, tenant=f"t{i}")
+                      for i, q in enumerate(queries)]
+                )
+
+            results = run(main())
+        finally:
+            svc.close()
+        by_status = Counter(r["status"] for r in results)
+        # deterministic: decisions happen synchronously on the loop before
+        # any await, so of 8 distinct offered queries exactly 1 runs,
+        # 1 queues, 6 are rejected
+        assert by_status == {"ok": 2, "rejected": 6}
+        queued = [r for r in results if r["status"] == "ok"
+                  and r["queued_s"] > 0.0]
+        assert len(queued) == 1
+        for r in results:
+            if r["status"] == "rejected":
+                assert "capacity" in r["reason"] or "quota" in r["reason"]
+
+    def test_tenant_quota_enforced(self, dataset):
+        svc = QueryService(dataset, ServiceConfig(max_inflight=4, max_queue=8,
+                                                  tenant_inflight=1,
+                                                  workers=1))
+        try:
+            async def main():
+                queries = [Query(t_begin=0.0, t_end=600.0,
+                                 width=float(10 + i)) for i in range(3)]
+                return await asyncio.gather(
+                    *[svc.query(q, tenant="greedy") for q in queries]
+                )
+
+            results = run(main())
+        finally:
+            svc.close()
+        by_status = Counter(r["status"] for r in results)
+        assert by_status == {"ok": 1, "rejected": 2}
+        snap = svc.snapshot()
+        assert snap["rejected_quota"] == 2
+        assert snap["tenants"]["greedy"]["rejected"] == 2
+
+    def test_snapshot_shape(self, service):
+        run(service.query(Query(t_begin=0.0, t_end=300.0)))
+        snap = service.snapshot()
+        assert snap["ok"] == 1
+        assert snap["result_cache"]["entries"] == 1
+        assert snap["dataset"]["partitions"] == service.dataset.n_partitions
+        assert "default" in snap["tenants"]
+        assert "queries" in service.report()
+
+
+class TestWireTables:
+    def test_round_trip_bit_identical(self):
+        t = Table({
+            "timestamp": np.arange(5, dtype=np.float64) * 0.1,
+            "node": np.arange(5, dtype=np.int64),
+            "power": np.array([1.5, np.pi, -0.0, 1e300, 5e-324]),
+        })
+        back = table_from_wire(table_to_wire(t))
+        assert back == t
+        for c in t.columns:
+            assert back[c].dtype == t[c].dtype
+
+    def test_wire_form_is_plain_json_types(self):
+        import json
+
+        t = Table({"v": np.array([1.0, 2.5])})
+        encoded = json.dumps(table_to_wire(t))
+        assert table_from_wire(json.loads(encoded)) == t
+
+
+class TestTCP:
+    def test_query_stats_ping_over_socket(self, service):
+        async def main():
+            server = TelemetryServer(service)
+            host, port = await server.start()
+            out = {}
+
+            def client_side():
+                with QueryClient(host, port, tenant="remote") as c:
+                    assert c.ping()
+                    out["cold"] = c.query(Query(t_begin=0.0, t_end=600.0))
+                    out["warm"] = c.query(Query(t_begin=0.0, t_end=600.0))
+                    out["bad"] = c.query({"level": "warp"})
+                    out["stats"] = c.stats()
+
+            worker = threading.Thread(target=client_side)
+            worker.start()
+            while worker.is_alive():
+                await asyncio.sleep(0.02)
+            worker.join()
+            await server.stop()
+            return out
+
+        out = run(main())
+        assert (out["cold"]["status"], out["cold"]["cache"]) == ("ok", "miss")
+        assert (out["warm"]["status"], out["warm"]["cache"]) == ("ok", "hit")
+        assert out["warm"]["table"] == out["cold"]["table"]
+        assert out["bad"]["status"] == "error"
+        assert out["stats"]["ok"] == 2
+        assert out["stats"]["tenants"]["remote"]["queries"] == 3
+
+    def test_wire_result_matches_in_process(self, service):
+        async def main():
+            q = Query(t_begin=0.0, t_end=900.0, derived="pue")
+            local = await service.query(q)
+            server = TelemetryServer(service)
+            host, port = await server.start()
+            out = {}
+
+            def client_side():
+                with QueryClient(host, port) as c:
+                    out["resp"] = c.query(q)
+
+            worker = threading.Thread(target=client_side)
+            worker.start()
+            while worker.is_alive():
+                await asyncio.sleep(0.02)
+            worker.join()
+            await server.stop()
+            return local, out["resp"]
+
+        local, remote = run(main())
+        assert remote["cache"] == "hit"
+        assert remote["table"] == local["table"]
+
+    def test_bad_json_line_is_error_not_disconnect(self, service):
+        async def main():
+            server = TelemetryServer(service)
+            host, port = await server.start()
+            out = {}
+
+            def client_side():
+                with QueryClient(host, port) as c:
+                    c._file.write(b"{not json\n")
+                    c._file.flush()
+                    import json
+
+                    out["err"] = json.loads(c._file.readline())
+                    out["after"] = c.ping()
+
+            worker = threading.Thread(target=client_side)
+            worker.start()
+            while worker.is_alive():
+                await asyncio.sleep(0.02)
+            worker.join()
+            await server.stop()
+            return out
+
+        out = run(main())
+        assert out["err"]["status"] == "error"
+        assert out["after"] is True

@@ -1,0 +1,145 @@
+"""Admission control: bounded concurrency, bounded queue, tenant quotas.
+
+All decisions are synchronous on the event loop, so these tests drive
+deterministic interleavings with bare coroutines — no sleeps for
+correctness, only to let queued waiters park.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.serve import Admission, RejectedError
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestFastPath:
+    def test_admit_below_bound_is_immediate(self):
+        async def main():
+            adm = Admission(max_inflight=2, max_queue=2)
+            assert await adm.admit("a") == 0.0
+            assert await adm.admit("a") == 0.0
+            assert adm.running == 2
+            adm.release("a")
+            adm.release("a")
+            assert adm.running == 0
+
+        run(main())
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Admission(max_inflight=0)
+        with pytest.raises(ValueError):
+            Admission(max_queue=-1)
+        with pytest.raises(ValueError):
+            Admission(tenant_inflight=0)
+
+
+class TestQueueing:
+    def test_waiter_parks_then_wakes_on_release(self):
+        async def main():
+            adm = Admission(max_inflight=1, max_queue=4)
+            await adm.admit("a")
+
+            async def queued():
+                return await adm.admit("b")
+
+            task = asyncio.create_task(queued())
+            await asyncio.sleep(0.01)
+            assert adm.waiting == 1
+            assert not task.done()
+            adm.release("a")
+            waited = await task
+            assert waited > 0.0
+            assert (adm.running, adm.waiting) == (1, 0)
+            adm.release("b")
+
+        run(main())
+
+    def test_fresh_arrival_never_jumps_queue(self):
+        async def main():
+            adm = Admission(max_inflight=1, max_queue=4)
+            await adm.admit("a")
+            first = asyncio.create_task(adm.admit("b"))
+            await asyncio.sleep(0.01)
+            # a slot opens, but "b" holds the head of the queue: a fresh
+            # arrival must park behind it, not race it
+            adm.release("a")
+            second = asyncio.create_task(adm.admit("c"))
+            await asyncio.sleep(0.01)
+            assert first.done() and not second.done()
+            adm.release("b")
+            await second
+            adm.release("c")
+
+        run(main())
+
+    def test_cancelled_waiter_releases_queue_slot(self):
+        async def main():
+            adm = Admission(max_inflight=1, max_queue=1)
+            await adm.admit("a")
+            task = asyncio.create_task(adm.admit("b"))
+            await asyncio.sleep(0.01)
+            task.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await task
+            assert adm.waiting == 0
+            assert adm.tenant("b").held == 0
+            adm.release("a")
+
+        run(main())
+
+
+class TestRejection:
+    def test_capacity_rejection_beyond_queue(self):
+        async def main():
+            adm = Admission(max_inflight=1, max_queue=1)
+            await adm.admit("a")
+            waiter = asyncio.create_task(adm.admit("b"))
+            await asyncio.sleep(0.01)
+            with pytest.raises(RejectedError, match="capacity"):
+                await adm.admit("c")
+            assert adm.rejected_capacity == 1
+            adm.release("a")
+            await waiter
+            adm.release("b")
+
+        run(main())
+
+    def test_tenant_quota_counts_running_plus_queued(self):
+        async def main():
+            adm = Admission(max_inflight=1, max_queue=8, tenant_inflight=2)
+            await adm.admit("t")                       # running
+            waiter = asyncio.create_task(adm.admit("t"))  # queued
+            await asyncio.sleep(0.01)
+            with pytest.raises(RejectedError, match="quota"):
+                await adm.admit("t")                   # held == 2 == quota
+            assert adm.rejected_quota == 1
+            # another tenant is unaffected by t's quota
+            other = asyncio.create_task(adm.admit("u"))
+            await asyncio.sleep(0.01)
+            assert adm.waiting == 2
+            adm.release("t")
+            await waiter
+            adm.release("t")
+            await other
+            adm.release("u")
+
+        run(main())
+
+    def test_rejection_leaves_counts_consistent(self):
+        async def main():
+            adm = Admission(max_inflight=1, max_queue=0)
+            await adm.admit("a")
+            with pytest.raises(RejectedError):
+                await adm.admit("b")
+            assert adm.tenant("b").held == 0
+            adm.release("a")
+            # the rejected tenant can come back immediately
+            await adm.admit("b")
+            adm.release("b")
+
+        run(main())

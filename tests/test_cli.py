@@ -144,3 +144,103 @@ class TestCliPipelineFlags:
                      "--chunk-seconds", "3600",
                      "--backend", "serial"]) == 0
         assert capsys.readouterr().out == ref
+
+
+class TestServeCli:
+    @pytest.fixture()
+    def served(self, tmp_path):
+        """A tiny archived dataset behind a TelemetryServer on a thread."""
+        import asyncio
+        import threading
+
+        import numpy as np
+
+        from repro.datasets.store import write_partitioned_series
+        from repro.frame.table import Table
+        from repro.serve import QueryService, ServiceConfig, TelemetryServer
+
+        rng = np.random.default_rng(11)
+        n_nodes, n_t = 6, 600
+        table = Table({
+            "node": np.repeat(np.arange(n_nodes, dtype=np.int64), n_t),
+            "timestamp": np.tile(np.arange(n_t, dtype=np.float64), n_nodes),
+            "input_power": rng.uniform(400.0, 2000.0, n_nodes * n_t),
+        })
+        write_partitioned_series(table, tmp_path, "tel", day_s=200.0)
+
+        service = QueryService(str(tmp_path / "tel"),
+                               ServiceConfig(workers=2))
+        info = {}
+        started = threading.Event()
+
+        def runner():
+            async def go():
+                server = TelemetryServer(service)
+                info["host"], info["port"] = await server.start()
+                info["loop"] = asyncio.get_running_loop()
+                info["quit"] = asyncio.Event()
+                started.set()
+                await info["quit"].wait()
+                await server.stop()
+
+            asyncio.run(go())
+
+        worker = threading.Thread(target=runner)
+        worker.start()
+        assert started.wait(10)
+        yield info["port"]
+        info["loop"].call_soon_threadsafe(info["quit"].set)
+        worker.join(10)
+        service.close()
+
+    def test_query_cold_then_warm(self, served, capsys):
+        argv = ["query", "--port", str(served),
+                "--t-begin", "0", "--t-end", "400", "--pue", "--head", "2"]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "cache: miss" in cold
+        assert "shards:" in cold and "pruned" in cold
+        assert "cluster power:" in cold
+        assert "PUE: mean" in cold
+        assert "timestamp=" in cold
+
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "cache: hit" in warm
+
+    def test_query_stats(self, served, capsys):
+        assert main(["query", "--port", str(served),
+                     "--t-begin", "0", "--t-end", "100"]) == 0
+        capsys.readouterr()
+        assert main(["query", "--port", str(served), "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "queries: 1" in out
+        assert "tenant cli:" in out
+
+    def test_query_error_exit_code(self, served, capsys):
+        rc = main(["query", "--port", str(served),
+                   "--metric", "flux_capacitor"])
+        assert rc == 1
+        assert "error:" in capsys.readouterr().out
+
+    def test_query_invalid_before_send(self, served, capsys):
+        rc = main(["query", "--port", str(served), "--width", "-5"])
+        assert rc == 1
+        assert "error:" in capsys.readouterr().out
+
+    def test_export_telemetry_dataset(self, tmp_path, capsys):
+        rc = main([
+            "export", "--nodes", "20", "--jobs", "60", "--days", "0.25",
+            "--seed", "3", "--output", str(tmp_path / "out"),
+            "--telemetry-minutes", "5",
+            "--telemetry-shard-seconds", "100",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "telemetry:" in out and "serve with:" in out
+
+        from repro.parallel.partition import PartitionedDataset
+
+        ds = PartitionedDataset(tmp_path / "out" / "telemetry")
+        assert ds.n_rows == 20 * 300
+        assert ds.n_partitions >= 3  # 300 s of samples in 100 s shards

@@ -127,6 +127,21 @@ SPECS: dict[str, list] = {
         Exact("late rows skew-free", r"late rows skew-free: (\d+)"),
         Exact("late rows skewed", r"late rows skewed: (\d+)"),
     ],
+    "query_service": [
+        Exact("bit-identical to pipeline", r"service == pipeline: (\w+)"),
+        # the single-flight and overload splits are decided synchronously
+        # on the event loop: exact at every scale, on every box
+        Exact("single-flight collapse",
+              r"single-flight: executed \d+ of \d+ identical concurrent "
+              r"queries"),
+        Exact("overload split",
+              r"overload: offered \d+ -> ok \d+ \(queued \d+\), "
+              r"rejected \d+ \(capacity \d+, quota \d+\)"),
+        # throughput is box-dependent; assert the pin line + floor only
+        Exact("speedup floor pinned",
+              r"warm@8 vs cold@1 throughput: [\d.]+x "
+              r"(\(must be >= \d+x\))"),
+    ],
 }
 
 

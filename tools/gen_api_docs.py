@@ -24,6 +24,7 @@ PACKAGES = [
     "repro.datasets",
     "repro.pipeline",
     "repro.stream",
+    "repro.serve",
 ]
 
 
@@ -89,6 +90,30 @@ CLI integration (`python -m repro stream`):
 | `--queue-capacity N` | bounded per-node input queue length |
 | `--max-batches N` | pause mid-stream after N source batches |
 | `--checkpoint PATH` | resume from / save a mid-stream checkpoint |
+""",
+    "repro.serve": """\
+### Query service
+
+`repro.serve` serves an archived `PartitionedDataset` to many tenants
+at once.  A declarative `Query` is validated and canonicalized (its
+SHA-256 fingerprint is spelling-invariant), planned into the storage
+pushdowns (zone-map shard pruning + column projection), and executed on
+an asyncio loop that offloads shard reads to a worker pool.  Results
+are bit-identical to `Pipeline.telemetry_series` over the same archive.
+
+Load management is explicit: a byte-capped LRU **result cache** (with
+optional disk spill), **single-flight** collapse of concurrent
+identical queries, and **admission control** (bounded in-flight slots,
+bounded FIFO queue, per-tenant quotas) that rejects — never hangs —
+overload.  Transport is newline-delimited JSON over TCP.
+
+CLI integration:
+
+| command | meaning |
+|---|---|
+| `python -m repro export ... --telemetry-minutes M` | archive raw telemetry for serving |
+| `python -m repro serve DATASET [--port P] [--max-inflight N] [--cache-mb M]` | run the TCP server |
+| `python -m repro query --port P [--t-begin S --t-end S] [--pue] [--stats]` | one query / the service report |
 """,
 }
 
