@@ -33,7 +33,11 @@ from repro.telemetry.msb import MsbMeters
 from repro.workload.apps import profile_utilization
 from repro.workload.jobs import JobCatalog, generate_jobs
 from repro.workload.scheduler import ScheduleResult, Scheduler, schedule_jobs
-from repro.workload.traces import ClusterTraceBuilder, NODE_NOISE_SIGMA
+from repro.workload.traces import (
+    AllocationIntervalIndex,
+    ClusterTraceBuilder,
+    NODE_NOISE_SIGMA,
+)
 
 #: cap on the per-chunk component-array size in the direct path
 _DIRECT_CHUNK_CELLS = 4_000_000
@@ -327,6 +331,7 @@ def cluster_power_window(
     w1: int,
     dt: float = 10.0,
     seed: int = 0,
+    index: AllocationIntervalIndex | None = None,
 ) -> np.ndarray:
     """Cluster input power over global sample indices ``[w0, w1)``.
 
@@ -334,6 +339,12 @@ def cluster_power_window(
     ``power[w0:w1]`` slice :func:`cluster_power_direct` would produce — every
     per-sample value is computed elementwise, so splitting the horizon into
     windows (the chunked pipeline) is bit-identical to one pass.
+
+    ``index`` (an :class:`~repro.workload.traces.AllocationIntervalIndex`
+    over ``schedule.allocations``) prunes the allocation walk to the rows
+    overlapping the window instead of scanning the whole table per window;
+    pruned-away rows are exactly those the scan would skip, and surviving
+    rows accumulate in the same ascending order, so results are identical.
     """
     cfg = catalog.config
     model = NodePowerModel(cfg, chips)
@@ -342,7 +353,12 @@ def cluster_power_window(
     idle_w = cfg.node_idle_w
 
     al = schedule.allocations
-    for i in range(al.n_rows):
+    rows = (
+        range(al.n_rows)
+        if index is None
+        else index.active_rows(w0 * dt, w1 * dt).tolist()
+    )
+    for i in rows:
         aid = int(al["allocation_id"][i])
         begin = float(al["begin_time"][i])
         end = float(al["end_time"][i])
@@ -396,6 +412,7 @@ def cluster_power_direct(
     """
     times = np.arange(0.0, horizon_s, dt)
     power = cluster_power_window(
-        catalog, schedule, chips, 0, len(times), dt=dt, seed=seed
+        catalog, schedule, chips, 0, len(times), dt=dt, seed=seed,
+        index=AllocationIntervalIndex(schedule.allocations),
     )
     return times, power

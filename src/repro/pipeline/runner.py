@@ -102,14 +102,19 @@ class _Timed:
 class _ClusterChunk:
     """Compute one time-window's cluster power slice as a 1-column table."""
 
-    __slots__ = ("catalog", "schedule", "chips", "dt", "seed")
+    __slots__ = ("catalog", "schedule", "chips", "dt", "seed", "index")
 
     def __init__(self, twin, dt: float):
+        from repro.workload.traces import AllocationIntervalIndex
+
         self.catalog = twin.catalog
         self.schedule = twin.schedule
         self.chips = twin.chips
         self.dt = dt
         self.seed = twin.spec.seed
+        # built once and shipped with the task: each window then prunes
+        # its allocation walk instead of scanning the whole schedule
+        self.index = AllocationIntervalIndex(twin.schedule.allocations)
 
     def __call__(self, span: tuple[int, int]) -> Table:
         from repro.datasets.generate import cluster_power_window
@@ -117,7 +122,7 @@ class _ClusterChunk:
         w0, w1 = span
         power = cluster_power_window(
             self.catalog, self.schedule, self.chips, w0, w1,
-            dt=self.dt, seed=self.seed,
+            dt=self.dt, seed=self.seed, index=self.index,
         )
         return Table({"power": power})
 

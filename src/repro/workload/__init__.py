@@ -12,7 +12,9 @@ Generates the analogues of the paper's job-scheduler datasets:
 * :mod:`repro.workload.scheduler` — an LSF-like allocator producing the
   allocation history (Datasets C and D),
 * :mod:`repro.workload.traces` — per-job and cluster-wide utilization /
-  power trace synthesis.
+  power trace synthesis,
+* :mod:`repro.workload.feed` — streaming a (multi-year) schedule into a
+  time-partitioned on-disk dataset.
 """
 
 from repro.workload.domains import DOMAINS, Domain, domain_by_name
@@ -21,8 +23,9 @@ from repro.workload.apps import (
     PROFILE_KINDS,
     sample_profile,
     profile_utilization,
+    profile_utilization_batch,
 )
-from repro.workload.jobs import JobCatalog, generate_jobs
+from repro.workload.jobs import JobCatalog, generate_jobs, synthetic_catalog
 from repro.workload.scheduler import Scheduler, schedule_jobs, queue_statistics
 from repro.workload.powercap import (
     PowerAwareScheduler,
@@ -32,7 +35,13 @@ from repro.workload.powercap import (
 from repro.workload.traces import (
     job_utilization,
     job_power_trace,
+    AllocationIntervalIndex,
     ClusterTraceBuilder,
+)
+from repro.workload.feed import (
+    schedule_to_partitioned,
+    read_active_allocations,
+    read_schedule_sidecar,
 )
 
 __all__ = [
@@ -43,8 +52,10 @@ __all__ = [
     "PROFILE_KINDS",
     "sample_profile",
     "profile_utilization",
+    "profile_utilization_batch",
     "JobCatalog",
     "generate_jobs",
+    "synthetic_catalog",
     "Scheduler",
     "schedule_jobs",
     "queue_statistics",
@@ -53,5 +64,9 @@ __all__ = [
     "estimate_job_peak_w",
     "job_utilization",
     "job_power_trace",
+    "AllocationIntervalIndex",
     "ClusterTraceBuilder",
+    "schedule_to_partitioned",
+    "read_active_allocations",
+    "read_schedule_sidecar",
 ]

@@ -21,7 +21,7 @@ import numpy as np
 
 from repro.config import SummitConfig, SUMMIT
 from repro.frame.table import Table
-from repro.workload.apps import AppProfile, sample_profile
+from repro.workload.apps import AppProfile, PROFILE_KINDS, sample_profile
 from repro.workload.domains import DOMAINS, domain_by_name, project_id
 
 #: Share of submitted jobs per scheduling class 1..5.
@@ -79,6 +79,23 @@ class JobCatalog:
         ):
             raise KeyError(f"unknown allocation_id {allocation_id}")
         return row
+
+    def rows_of_allocations(self, allocation_ids: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`row_of_allocation` for an id array."""
+        aids = np.asarray(allocation_ids, dtype=np.int64)
+        rows = aids - 1
+        if len(rows) and (
+            rows.min() < 0
+            or rows.max() >= self.n_jobs
+            or not np.array_equal(self.table["allocation_id"][rows], aids)
+        ):
+            bad = aids[
+                (rows < 0)
+                | (rows >= self.n_jobs)
+                | (self.table["allocation_id"][np.clip(rows, 0, self.n_jobs - 1)] != aids)
+            ]
+            raise KeyError(f"unknown allocation_id {bad[0]}")
+        return rows
 
 
 def _node_counts_for_class(
@@ -301,6 +318,110 @@ def generate_jobs(
             "gpus_used": gpus_used,
             "kind_code": kind_code,
             **prof_cols,
+        }
+    )
+    return JobCatalog(table=table, config=config)
+
+
+def synthetic_catalog(
+    config: SummitConfig = SUMMIT,
+    n_jobs: int = 100_000,
+    horizon_s: float = 365 * 86400.0,
+    seed: int = 0,
+    utilization_hint: float | None = None,
+    class_weights: tuple[float, ...] = CLASS_WEIGHTS,
+) -> JobCatalog:
+    """Fully vectorized catalog for scale benchmarks and stress tests.
+
+    Same schema and class/node/walltime distributions as
+    :func:`generate_jobs`, but the per-user profile-persistence loop (an
+    O(n) Python pass that dominates above ~100k jobs) is replaced by
+    independent vectorized profile draws — fine for scheduler and trace
+    throughput work, wrong for Section 9 fingerprinting studies.
+    ``class_weights`` reshapes the class mix (e.g. all-small-job fleets
+    for trace-synthesis stress).
+    """
+    rng = np.random.default_rng(np.random.SeedSequence([seed, 0x5CA1E]))
+    classes_cfg = config.scheduling_classes()
+
+    cls_draw = rng.choice(
+        [c.index for c in classes_cfg], size=n_jobs, p=class_weights
+    )
+    node_count = np.empty(n_jobs, dtype=np.int64)
+    walltime = np.empty(n_jobs, dtype=np.float64)
+    for cls in classes_cfg:
+        mask = cls_draw == cls.index
+        k = int(mask.sum())
+        node_count[mask] = _node_counts_for_class(
+            rng, cls.index, cls.min_nodes, cls.max_nodes, k
+        )
+        walltime[mask] = _walltimes_for_class(
+            rng, cls.index, cls.max_walltime_h * 3600.0, k
+        )
+
+    if utilization_hint is not None:
+        demand = float((node_count * walltime).sum())
+        capacity = config.n_nodes * horizon_s
+        scale = utilization_hint * capacity / max(demand, 1.0)
+        if scale < 1.0:
+            keep = int(max(1, round(n_jobs * scale)))
+            keep_idx = rng.choice(n_jobs, size=keep, replace=False)
+            keep_idx.sort()
+            cls_draw = cls_draw[keep_idx]
+            node_count = node_count[keep_idx]
+            walltime = walltime[keep_idx]
+            n_jobs = keep
+
+    submit = np.sort(rng.uniform(0.0, horizon_s, size=n_jobs))
+
+    # profile parameters: one vector draw per column, kind mix close to
+    # the per-domain sampler's aggregate behavior
+    kind_code = rng.choice(
+        np.arange(len(PROFILE_KINDS), dtype=np.int64),
+        size=n_jobs,
+        p=[0.55, 0.20, 0.10, 0.08, 0.07],
+    )
+    gpu_base = np.clip(rng.beta(2.6, 2.6, size=n_jobs), 0.02, 0.98)
+    cpu_base = np.clip(rng.beta(2.0, 5.0, size=n_jobs) * 0.6, 0.02, 0.9)
+    gpu_amp = np.clip(rng.beta(2.0, 3.5, size=n_jobs) * 0.5, 0.0, 1.0)
+    cpu_amp = np.clip(rng.beta(2.0, 6.0, size=n_jobs) * 0.4, 0.0, 0.6)
+    steady = kind_code == 0
+    gpu_amp[steady] = np.minimum(gpu_amp[steady], 0.08)
+    cpu_amp[steady] = np.minimum(cpu_amp[steady], 0.05)
+    period = np.clip(
+        rng.lognormal(np.log(200.0), 0.45, size=n_jobs), 20.0, 2000.0
+    )
+    duty = np.clip(rng.beta(8.0, 5.0, size=n_jobs), 0.38, 0.72)
+    phase = rng.uniform(0.0, period)
+
+    gpus_used = np.full(n_jobs, config.gpus_per_node, dtype=np.int64)
+    caps_by_idx = np.zeros(max(c.index for c in classes_cfg) + 1)
+    for c in classes_cfg:
+        caps_by_idx[c.index] = c.max_walltime_h * 3600.0
+    req = np.minimum(
+        caps_by_idx[cls_draw], walltime * rng.uniform(1.05, 1.6, size=n_jobs)
+    )
+
+    table = Table(
+        {
+            "allocation_id": np.arange(1, n_jobs + 1, dtype=np.int64),
+            "submit_time": submit,
+            "node_count": node_count,
+            "sched_class": cls_draw.astype(np.int64),
+            "req_walltime_s": req,
+            "walltime_s": walltime,
+            "domain": np.full(n_jobs, "Synthetic"),
+            "project": np.full(n_jobs, "SYN000"),
+            "user_id": rng.integers(0, 100_000, size=n_jobs),
+            "gpus_used": gpus_used,
+            "kind_code": kind_code,
+            "cpu_base": cpu_base,
+            "cpu_amp": cpu_amp,
+            "gpu_base": gpu_base,
+            "gpu_amp": gpu_amp,
+            "period_s": period,
+            "duty": duty,
+            "phase_s": phase,
         }
     )
     return JobCatalog(table=table, config=config)

@@ -15,18 +15,38 @@ Node placement draws a random subset of the free nodes (seeded): Summit's
 CSM allocator scatters allocations across the floor, which is what makes
 every switchboard carry live load (Figure 4) and spreads heat evenly at
 scale (Figure 17).
+
+Two cores produce bit-identical results (tested property):
+
+* ``engine="event"`` (default) — a discrete-event core in the style of
+  oar3's ``simsim`` and the Firmament replay wrapper: submit and
+  completion events are merged in time order, the pending queue is kept
+  incrementally sorted (``insort`` instead of a full re-sort per event),
+  the running set keeps a sorted end-time mirror so the EASY shadow time
+  and its spare-node count come from ONE walk (no per-event
+  ``sorted(running)`` copies), and drain-window edges advance an O(1)
+  interval pointer.  This is the multi-year / multi-million-job path.
+* ``engine="reference"`` — the original batch-stepped loop, kept as the
+  differential-testing oracle and the baseline for
+  ``benchmarks/bench_sched_scale.py``.
+
+Both engines draw from the same placement RNG in the same order, so
+``ScheduleResult`` is identical bit for bit.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass
+from bisect import bisect_left, insort
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.config import SummitConfig, SUMMIT
 from repro.frame.table import Table
 from repro.workload.jobs import JobCatalog
+
+_ENGINES = ("event", "reference")
 
 
 @dataclass
@@ -42,16 +62,116 @@ class ScheduleResult:
         (Dataset D analogue).
     ``dropped``
         allocation_ids that never started before the horizon closed.
+    ``dropped_by_class``
+        Per-class breakdown of the horizon drops: one row per scheduling
+        class that lost at least one job (``sched_class``, ``n_dropped``).
+        Empty table when nothing was dropped.
     """
 
     allocations: Table
     node_allocations: Table
     dropped: np.ndarray
+    dropped_by_class: Table = field(
+        default_factory=lambda: Table(
+            {
+                "sched_class": np.empty(0, dtype=np.int64),
+                "n_dropped": np.empty(0, dtype=np.int64),
+            }
+        )
+    )
 
     def nodes_of(self, allocation_id: int) -> np.ndarray:
         """Node ids assigned to one allocation."""
         na = self.node_allocations
         return na["node"][na["allocation_id"] == allocation_id]
+
+
+def _merged_drain_windows(
+    windows: tuple[tuple[float, float], ...]
+) -> list[tuple[float, float]]:
+    """Sort and merge drain windows into disjoint intervals.
+
+    ``any(a <= now < b)`` over the raw tuple and a pointer walk over the
+    merged list agree for every ``now``, so the event core's O(1) check is
+    behavior-identical to the reference scan.
+    """
+    ivs = sorted((float(a), float(b)) for a, b in windows if b > a)
+    merged: list[tuple[float, float]] = []
+    for a, b in ivs:
+        if merged and a <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], b))
+        else:
+            merged.append((a, b))
+    return merged
+
+
+class _Sim:
+    """Mutable machine state shared by both scheduler cores.
+
+    Holds the free-node mask, per-job begin/end times, the running heap
+    (completion order) and — for the event core — its sorted end-time
+    mirror ``by_end``.  ``start_job`` / ``release`` are the only writers,
+    so the two cores cannot drift in how they mutate the machine.
+    """
+
+    __slots__ = (
+        "sched", "catalog", "free", "n_free", "running", "by_end",
+        "node_lists", "begin", "end", "placement_rng", "nodes_req", "wall",
+        "n_started",
+    )
+
+    def __init__(self, sched: "Scheduler", catalog: JobCatalog, mirror: bool):
+        t = catalog.table
+        n_jobs = catalog.n_jobs
+        self.sched = sched
+        self.catalog = catalog
+        self.nodes_req = t["node_count"]
+        self.wall = t["walltime_s"]
+        self.free = np.ones(sched.config.n_nodes, dtype=bool)
+        self.n_free = sched.config.n_nodes
+        self.running: list[tuple[float, int]] = []  # heap of (end_time, row)
+        #: sorted mirror of ``running`` (event core only); None = unused
+        self.by_end: list[tuple[float, int]] | None = [] if mirror else None
+        self.node_lists: dict[int, np.ndarray] = {}
+        self.begin = np.full(n_jobs, -1.0)
+        self.end = np.full(n_jobs, -1.0)
+        self.placement_rng = np.random.default_rng(
+            np.random.SeedSequence([sched.seed, 0x5CED])
+        )
+        self.n_started = 0
+
+    def start_job(self, row: int, now: float) -> None:
+        k = int(self.nodes_req[row])
+        free_ids = np.flatnonzero(self.free)
+        if k == len(free_ids):
+            chosen = free_ids
+        else:
+            chosen = self.placement_rng.choice(free_ids, size=k, replace=False)
+            chosen.sort()
+        self.free[chosen] = False
+        self.n_free -= k
+        self.node_lists[row] = chosen
+        self.begin[row] = now
+        self.end[row] = now + float(self.wall[row])
+        entry = (self.end[row], row)
+        heapq.heappush(self.running, entry)
+        if self.by_end is not None:
+            insort(self.by_end, entry)
+        self.n_started += 1
+        self.sched.on_start(self.catalog, row, now)
+
+    def pop_completion(self) -> tuple[float, int]:
+        """Pop the next completion from the heap (and the mirror)."""
+        entry = heapq.heappop(self.running)
+        if self.by_end is not None:
+            del self.by_end[bisect_left(self.by_end, entry)]
+        return entry
+
+    def release(self, row: int, now: float) -> None:
+        nl = self.node_lists[row]
+        self.free[nl] = True
+        self.n_free += len(nl)
+        self.sched.on_release(self.catalog, row, now)
 
 
 class Scheduler:
@@ -61,6 +181,10 @@ class Scheduler:
     one (running jobs finish normally), so the machine drains toward idle —
     the periodic idle-touching extremes visible in the paper's Figure 5,
     and the February window where the cooling towers were serviced.
+
+    ``engine`` selects the core: ``"event"`` (default, the scalable
+    discrete-event core) or ``"reference"`` (the original loop, kept as
+    the differential-test oracle).  Both are bit-identical.
     """
 
     #: how deep into the priority queue backfill may look (production
@@ -72,10 +196,17 @@ class Scheduler:
         config: SummitConfig = SUMMIT,
         seed: int = 0,
         drain_windows: tuple[tuple[float, float], ...] = (),
+        engine: str = "event",
     ):
+        if engine not in _ENGINES:
+            raise ValueError(f"engine must be one of {_ENGINES}, got {engine!r}")
         self.config = config
         self.seed = seed
         self.drain_windows = tuple(drain_windows)
+        self.engine = engine
+        #: operation counters from the most recent :meth:`run` (events,
+        #: submits, completion batches, queue scans, shadow walks, ...)
+        self.last_run_stats: dict[str, int] = {}
 
     def _draining(self, now: float) -> bool:
         return any(a <= now < b for a, b in self.drain_windows)
@@ -95,92 +226,237 @@ class Scheduler:
     def run(self, catalog: JobCatalog, horizon_s: float) -> ScheduleResult:
         """Schedule every catalog job; jobs still pending at ``horizon_s``
         are dropped (they would run in the next year)."""
+        if self.engine == "reference":
+            return self._run_reference(catalog, horizon_s)
+        return self._run_event(catalog, horizon_s)
+
+    # ---------------- event-driven core ----------------
+
+    def _run_event(self, catalog: JobCatalog, horizon_s: float) -> ScheduleResult:
         t = catalog.table
+        submit = t["submit_time"]
+        sclass_l = t["sched_class"].tolist()
+        nodes_req_l = t["node_count"].tolist()
+        wall_l = t["walltime_s"].tolist()
+
+        order = np.argsort(submit, kind="stable")
+        order_l = order.tolist()
+        submit_l = submit[order].tolist()
         n_jobs = catalog.n_jobs
+
+        sim = _Sim(self, catalog, mirror=True)
+        running = sim.running
+        by_end = sim.by_end
+        node_lists = sim.node_lists
+
+        # pending queue: kept sorted by (class, seq) at all times, plus a
+        # sorted multiset of its node demands so a scan that cannot start
+        # anything (every demand > n_free) is skipped in O(1)
+        pending: list[tuple[int, int, int]] = []
+        pending_ks: list[int] = []
+
+        drains = _merged_drain_windows(self.drain_windows)
+        n_drains = len(drains)
+        drain_ptr = 0
+
+        stats = {
+            "n_events": 0,
+            "n_submits": 0,
+            "n_completion_batches": 0,
+            "n_queue_scans": 0,
+            "n_scans_skipped": 0,
+            "n_shadow_walks": 0,
+            "max_pending": 0,
+        }
+        inf = float("inf")
+        depth_cap = self.BACKFILL_DEPTH
+        admit = self.admit
+
+        def shadow_and_spare(k_needed: int) -> tuple[float, int]:
+            """One walk of the sorted running mirror: the earliest instant
+            ``k_needed`` nodes are free *and* the nodes still spare then."""
+            stats["n_shadow_walks"] += 1
+            avail = sim.n_free
+            freed = sim.n_free
+            shadow = inf
+            for t_end, row in by_end:
+                nn = len(node_lists[row])
+                if shadow == inf:
+                    avail += nn
+                    if avail >= k_needed:
+                        shadow = t_end
+                        freed = avail
+                elif t_end > shadow:
+                    break
+                else:
+                    freed += nn
+            if shadow == inf:
+                return inf, 0
+            return shadow, max(0, freed - k_needed)
+
+        def try_start(now: float) -> None:
+            """Priority scan with EASY reservation backfill (decision-
+            identical to the reference scan over ``sorted(pending)``)."""
+            nonlocal drain_ptr
+            if not pending or sim.n_free == 0:
+                return
+            while drain_ptr < n_drains and now >= drains[drain_ptr][1]:
+                drain_ptr += 1
+            if drain_ptr < n_drains and drains[drain_ptr][0] <= now:
+                return
+            if pending_ks[0] > sim.n_free:
+                # nothing fits and no admit() side effects are reachable:
+                # the whole scan is a provable no-op
+                stats["n_scans_skipped"] += 1
+                return
+            stats["n_queue_scans"] += 1
+            shadow: float | None = None
+            spare_at_shadow = 0
+            started: list[int] = []
+            idx = 0
+            n_pend = len(pending)
+            while idx < n_pend:
+                if sim.n_free == 0 or idx >= depth_cap:
+                    break
+                row = pending[idx][2]
+                k = nodes_req_l[row]
+                if k <= sim.n_free and not admit(catalog, row, now):
+                    # policy veto (e.g. power cap): job waits without
+                    # earning a node reservation
+                    pass
+                elif k <= sim.n_free and shadow is None:
+                    sim.start_job(row, now)
+                    started.append(idx)
+                elif k <= sim.n_free:
+                    # backfill candidate: must not delay the reservation
+                    if now + wall_l[row] <= shadow or k <= spare_at_shadow:
+                        sim.start_job(row, now)
+                        if k > spare_at_shadow:
+                            spare_at_shadow = 0
+                        else:
+                            spare_at_shadow -= k
+                        started.append(idx)
+                else:
+                    if shadow is None:
+                        shadow, spare_at_shadow = shadow_and_spare(k)
+                idx += 1
+            for i in reversed(started):
+                row = pending[i][2]
+                del pending[i]
+                del pending_ks[bisect_left(pending_ks, nodes_req_l[row])]
+
+        def completion_batch() -> None:
+            t_end, row_done = sim.pop_completion()
+            sim.release(row_done, t_end)
+            while running and running[0][0] <= t_end:
+                _, r2 = sim.pop_completion()
+                sim.release(r2, t_end)
+            stats["n_completion_batches"] += 1
+            try_start(t_end)
+
+        seq = 0
+        for i in range(n_jobs):
+            now = submit_l[i]
+            # completion events (and the queue scans they unlock) strictly
+            # precede a submit at the same instant, as in the reference
+            while running and running[0][0] <= now:
+                completion_batch()
+            row = order_l[i]
+            insort(pending, (sclass_l[row], seq, row))
+            insort(pending_ks, nodes_req_l[row])
+            seq += 1
+            stats["n_submits"] += 1
+            if len(pending) > stats["max_pending"]:
+                stats["max_pending"] = len(pending)
+            try_start(now)
+
+        # after the last submit, keep processing completions until the
+        # horizon closes or the queue drains
+        while pending and running and running[0][0] <= horizon_s:
+            completion_batch()
+
+        stats["n_events"] = stats["n_submits"] + stats["n_completion_batches"]
+        stats["n_started"] = sim.n_started
+        self.last_run_stats = stats
+        return _assemble(catalog, sim)
+
+    # ---------------- reference core (differential oracle) ----------------
+
+    def _run_reference(
+        self, catalog: JobCatalog, horizon_s: float
+    ) -> ScheduleResult:
+        """The original batch-stepped loop: re-sorts ``pending`` every
+        event and walks ``sorted(running)`` for the reservation (one pass
+        for shadow *and* spare — the historical second walk is folded in).
+        """
+        t = catalog.table
         submit = t["submit_time"]
         nodes_req = t["node_count"]
         wall = t["walltime_s"]
         sclass = t["sched_class"]
-        alloc_ids = t["allocation_id"]
 
         order = np.argsort(submit, kind="stable")
+        sim = _Sim(self, catalog, mirror=False)
+        running = sim.running
+        node_lists = sim.node_lists
 
-        free = np.ones(self.config.n_nodes, dtype=bool)
-        n_free = self.config.n_nodes
-
-        # pending: list of catalog rows, kept sorted by (class, submit order)
         pending: list[tuple[int, int, int]] = []  # (class, seq, row)
-        running: list[tuple[float, int]] = []     # heap of (end_time, row)
+        stats = {
+            "n_events": 0, "n_submits": 0, "n_completion_batches": 0,
+            "n_queue_scans": 0, "n_scans_skipped": 0, "n_shadow_walks": 0,
+            "max_pending": 0,
+        }
 
-        begin = np.full(n_jobs, -1.0)
-        end = np.full(n_jobs, -1.0)
-        node_lists: dict[int, np.ndarray] = {}
-
-        def release(row: int, now: float) -> None:
-            nonlocal n_free
-            nl = node_lists[row]
-            free[nl] = True
-            n_free += len(nl)
-            self.on_release(catalog, row, now)
-
-        placement_rng = np.random.default_rng(
-            np.random.SeedSequence([self.seed, 0x5CED])
-        )
-
-        def start_job(row: int, now: float) -> None:
-            nonlocal n_free
-            k = int(nodes_req[row])
-            free_ids = np.flatnonzero(free)
-            if k == len(free_ids):
-                chosen = free_ids
-            else:
-                chosen = placement_rng.choice(free_ids, size=k, replace=False)
-                chosen.sort()
-            free[chosen] = False
-            n_free -= k
-            node_lists[row] = chosen
-            begin[row] = now
-            end[row] = now + float(wall[row])
-            heapq.heappush(running, (end[row], row))
-            self.on_start(catalog, row, now)
-
-        def shadow_time(now: float, k_needed: int) -> float:
-            """Earliest time the top blocked job can have ``k_needed`` nodes:
-            walk running jobs in end order, accumulating released nodes."""
-            avail = n_free
+        def shadow_and_spare(k_needed: int) -> tuple[float, int]:
+            """Earliest time the top blocked job can have ``k_needed``
+            nodes, and the spare nodes at that instant — one end-ordered
+            walk of the running set."""
+            stats["n_shadow_walks"] += 1
+            avail = sim.n_free
+            freed = sim.n_free
+            shadow = float("inf")
             for t_end, row in sorted(running):
-                avail += len(node_lists[row])
-                if avail >= k_needed:
-                    return t_end
-            return float("inf")
+                nn = len(node_lists[row])
+                if shadow == float("inf"):
+                    avail += nn
+                    if avail >= k_needed:
+                        shadow = t_end
+                        freed = avail
+                elif t_end > shadow:
+                    break
+                else:
+                    freed += nn
+            if shadow == float("inf"):
+                return shadow, 0
+            return shadow, max(0, freed - k_needed)
 
         def try_start(now: float) -> None:
             """Priority scan with EASY reservation backfill."""
-            nonlocal n_free
-            if not pending or n_free == 0 or self._draining(now):
+            if not pending or sim.n_free == 0 or self._draining(now):
                 return
+            stats["n_queue_scans"] += 1
             pending.sort()
             still: list[tuple[int, int, int]] = []
             shadow: float | None = None
             spare_at_shadow = 0
             for depth, item in enumerate(pending):
-                if n_free == 0 or depth >= self.BACKFILL_DEPTH:
+                if sim.n_free == 0 or depth >= self.BACKFILL_DEPTH:
                     still.extend(pending[depth:])
                     break
                 row = item[2]
                 k = int(nodes_req[row])
-                if k <= n_free and not self.admit(catalog, row, now):
+                if k <= sim.n_free and not self.admit(catalog, row, now):
                     # policy veto (e.g. power cap): job waits without
                     # earning a node reservation
                     still.append(item)
-                elif k <= n_free and shadow is None:
-                    start_job(row, now)
-                elif k <= n_free:
+                elif k <= sim.n_free and shadow is None:
+                    sim.start_job(row, now)
+                elif k <= sim.n_free:
                     # backfill candidate: must not delay the reservation —
                     # either done by the shadow time, or small enough to fit
                     # in the nodes the blocked job leaves spare
                     if now + float(wall[row]) <= shadow or k <= spare_at_shadow:
-                        start_job(row, now)
+                        sim.start_job(row, now)
                         if k > spare_at_shadow:
                             spare_at_shadow = 0
                         else:
@@ -190,13 +466,7 @@ class Scheduler:
                 else:
                     if shadow is None:
                         # first blocked job: compute its reservation
-                        shadow = shadow_time(now, k)
-                        freed = n_free
-                        for t_end, r2 in sorted(running):
-                            if t_end > shadow:
-                                break
-                            freed += len(node_lists[r2])
-                        spare_at_shadow = max(0, freed - k)
+                        shadow, spare_at_shadow = shadow_and_spare(k)
                     still.append(item)
             pending[:] = still
 
@@ -206,57 +476,83 @@ class Scheduler:
             # release completions (and give queued jobs those nodes) in order
             while running and running[0][0] <= now:
                 t_end, row_done = heapq.heappop(running)
-                release(row_done, t_end)
+                sim.release(row_done, t_end)
                 # drain any other jobs ending at the same instant first
                 while running and running[0][0] <= t_end:
                     _, r2 = heapq.heappop(running)
-                    release(r2, t_end)
+                    sim.release(r2, t_end)
+                stats["n_completion_batches"] += 1
                 try_start(t_end)
             pending.append((int(sclass[j]), seq, int(j)))
             seq += 1
+            stats["n_submits"] += 1
+            stats["max_pending"] = max(stats["max_pending"], len(pending))
             try_start(now)
 
-        # after the last submit, keep processing completions until the
-        # horizon closes or the queue drains
         while pending and running and running[0][0] <= horizon_s:
             t_end, row_done = heapq.heappop(running)
-            release(row_done, t_end)
+            sim.release(row_done, t_end)
             while running and running[0][0] <= t_end:
                 _, r2 = heapq.heappop(running)
-                release(r2, t_end)
+                sim.release(r2, t_end)
+            stats["n_completion_batches"] += 1
             try_start(t_end)
 
-        started = begin >= 0.0
-        started_rows = np.flatnonzero(started)
-        dropped = alloc_ids[~started]
+        stats["n_events"] = stats["n_submits"] + stats["n_completion_batches"]
+        stats["n_started"] = sim.n_started
+        self.last_run_stats = stats
+        return _assemble(catalog, sim)
 
-        allocations = Table(
-            {
-                "allocation_id": alloc_ids[started_rows],
-                "begin_time": begin[started_rows],
-                "end_time": end[started_rows],
-                "node_count": nodes_req[started_rows],
-                "sched_class": sclass[started_rows],
-            }
-        )
 
-        # per-node expansion (Dataset D)
-        counts = nodes_req[started_rows].astype(np.intp)
-        rep_rows = np.repeat(started_rows, counts)
-        all_nodes = (
-            np.concatenate([node_lists[int(r)] for r in started_rows])
-            if len(started_rows)
-            else np.empty(0, dtype=np.int64)
-        )
-        node_allocations = Table(
-            {
-                "allocation_id": alloc_ids[rep_rows],
-                "node": all_nodes.astype(np.int64),
-                "begin_time": begin[rep_rows],
-                "end_time": end[rep_rows],
-            }
-        )
-        return ScheduleResult(allocations, node_allocations, dropped)
+def _assemble(catalog: JobCatalog, sim: _Sim) -> ScheduleResult:
+    """Build the result tables from the simulated machine state."""
+    t = catalog.table
+    alloc_ids = t["allocation_id"]
+    nodes_req = t["node_count"]
+    sclass = t["sched_class"]
+    begin, end = sim.begin, sim.end
+
+    started = begin >= 0.0
+    started_rows = np.flatnonzero(started)
+    dropped = alloc_ids[~started]
+
+    allocations = Table(
+        {
+            "allocation_id": alloc_ids[started_rows],
+            "begin_time": begin[started_rows],
+            "end_time": end[started_rows],
+            "node_count": nodes_req[started_rows],
+            "sched_class": sclass[started_rows],
+        }
+    )
+
+    # per-node expansion (Dataset D)
+    counts = nodes_req[started_rows].astype(np.intp)
+    rep_rows = np.repeat(started_rows, counts)
+    all_nodes = (
+        np.concatenate([sim.node_lists[int(r)] for r in started_rows])
+        if len(started_rows)
+        else np.empty(0, dtype=np.int64)
+    )
+    node_allocations = Table(
+        {
+            "allocation_id": alloc_ids[rep_rows],
+            "node": all_nodes.astype(np.int64),
+            "begin_time": begin[rep_rows],
+            "end_time": end[rep_rows],
+        }
+    )
+
+    drop_cls, drop_counts = np.unique(sclass[~started], return_counts=True)
+    dropped_by_class = Table(
+        {
+            "sched_class": drop_cls.astype(np.int64),
+            "n_dropped": drop_counts.astype(np.int64),
+        }
+    )
+    return ScheduleResult(
+        allocations, node_allocations, dropped, dropped_by_class
+    )
 
 
 def schedule_jobs(
@@ -269,12 +565,16 @@ def schedule_jobs(
 def queue_statistics(
     schedule: ScheduleResult, catalog: JobCatalog
 ) -> Table:
-    """Per-class queueing metrics: mean/median wait and bounded slowdown.
+    """Per-class queueing metrics: mean/median wait, bounded slowdown, and
+    the jobs the horizon dropped.
 
     Bounded slowdown uses the standard 10-second floor:
     ``max(1, (wait + run) / max(run, 10 s))`` — the scheduling-literature
     metric a facility would watch when tuning the policies the paper's
-    conclusion advocates.
+    conclusion advocates.  ``n_dropped`` counts the class's jobs still
+    pending when the horizon closed (classes whose every job was dropped
+    have no started rows here; see ``ScheduleResult.dropped_by_class`` for
+    the complete breakdown).
     """
     from repro.frame.groupby import group_by
     from repro.frame.join import join
@@ -310,4 +610,12 @@ def queue_statistics(
             "median_slowdown": ("slowdown", "median"),
         },
     )
-    return out.sort("sched_class")
+    out = out.sort("sched_class")
+    dbc = schedule.dropped_by_class
+    drop_map = dict(
+        zip(dbc["sched_class"].tolist(), dbc["n_dropped"].tolist())
+    )
+    n_dropped = np.array(
+        [drop_map.get(int(c), 0) for c in out["sched_class"]], dtype=np.int64
+    )
+    return out.with_column("n_dropped", n_dropped)

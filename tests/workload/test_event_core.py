@@ -1,0 +1,229 @@
+"""Bit-identity property tests: event-driven core vs reference engines.
+
+The event-driven scheduler core and the batched trace painter are pure
+performance work — every observable artifact must be *bit-identical* to
+the straight-line reference implementations.  Hypothesis drives both
+through adversarial workloads (submit-time ties, drain windows, power-cap
+vetoes, zero-node jobs) and compares full ``ScheduleResult`` /
+``TraceArrays`` contents, not summaries.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import SUMMIT
+from repro.frame.table import Table
+from repro.workload.jobs import JobCatalog
+from repro.workload.powercap import PowerAwareScheduler
+from repro.workload.scheduler import Scheduler, queue_statistics
+from repro.workload.traces import ClusterTraceBuilder
+
+N_NODES = 16
+HORIZON = 50_000.0
+
+
+@st.composite
+def tied_catalog(draw, min_jobs=1, max_jobs=40, allow_zero_nodes=True):
+    """Catalogs stressing the queues: quantized submits (many exact ties),
+    walltime ties, and optionally zero-node jobs."""
+    n = draw(st.integers(min_jobs, max_jobs))
+    # submits on a coarse grid -> heavy exact-tie batches
+    submits = sorted(
+        draw(st.lists(st.integers(0, 10), min_size=n, max_size=n))
+    )
+    lo = 0 if allow_zero_nodes else 1
+    nodes = draw(st.lists(st.integers(lo, N_NODES), min_size=n, max_size=n))
+    walls = draw(
+        st.lists(st.sampled_from([10.0, 500.0, 500.0, 2000.0]),
+                 min_size=n, max_size=n)
+    )
+    classes = draw(st.lists(st.integers(1, 5), min_size=n, max_size=n))
+    kinds = draw(st.lists(st.integers(0, 4), min_size=n, max_size=n))
+    table = Table(
+        {
+            "allocation_id": np.arange(1, n + 1, dtype=np.int64),
+            "submit_time": np.array(submits, dtype=np.float64) * 500.0,
+            "node_count": np.array(nodes, dtype=np.int64),
+            "sched_class": np.array(classes, dtype=np.int64),
+            "req_walltime_s": np.array(walls),
+            "walltime_s": np.array(walls),
+            "domain": np.array(["Physics"] * n),
+            "project": np.array(["PHY000"] * n),
+            "user_id": np.zeros(n, dtype=np.int64),
+            "gpus_used": np.array(
+                draw(st.lists(st.integers(1, 6), min_size=n, max_size=n)),
+                dtype=np.int64,
+            ),
+            "kind_code": np.array(kinds, dtype=np.int64),
+            "cpu_base": np.full(n, 0.3),
+            "cpu_amp": np.full(n, 0.1),
+            "gpu_base": np.full(n, 0.5),
+            "gpu_amp": np.full(n, 0.2),
+            "period_s": np.full(n, 200.0),
+            "duty": np.full(n, 0.6),
+            "phase_s": np.full(n, 35.0),
+        }
+    )
+    return JobCatalog(table=table, config=SUMMIT.scaled(N_NODES))
+
+
+drain_windows_st = st.lists(
+    st.tuples(st.floats(0, HORIZON, allow_nan=False),
+              st.floats(1.0, 20_000.0, allow_nan=False)),
+    max_size=3,
+).map(lambda ws: tuple((a, a + d) for a, d in ws))
+
+
+def assert_schedules_identical(a, b):
+    for name in a.allocations.columns:
+        assert np.array_equal(a.allocations[name], b.allocations[name]), name
+    for name in a.node_allocations.columns:
+        assert np.array_equal(
+            a.node_allocations[name], b.node_allocations[name]
+        ), name
+    assert np.array_equal(a.dropped, b.dropped)
+    for name in a.dropped_by_class.columns:
+        assert np.array_equal(
+            a.dropped_by_class[name], b.dropped_by_class[name]
+        ), name
+
+
+class TestEventCoreBitIdentity:
+    @given(tied_catalog(), drain_windows_st, st.integers(0, 3))
+    @settings(max_examples=60, deadline=None)
+    def test_schedule_identical_under_ties_and_drains(
+        self, catalog, drains, seed
+    ):
+        ref = Scheduler(
+            catalog.config, seed=seed, drain_windows=drains,
+            engine="reference",
+        ).run(catalog, HORIZON)
+        ev = Scheduler(
+            catalog.config, seed=seed, drain_windows=drains, engine="event"
+        ).run(catalog, HORIZON)
+        assert_schedules_identical(ref, ev)
+
+    @given(tied_catalog(), st.integers(0, 3))
+    @settings(max_examples=40, deadline=None)
+    def test_power_cap_vetoes_identical(self, catalog, seed):
+        # a cap low enough to veto often, high enough to admit sometimes
+        cap = catalog.config.n_nodes * catalog.config.node_max_power_w * 0.4
+        ref = PowerAwareScheduler(
+            cap, catalog.config, seed=seed, engine="reference"
+        ).run_capped(catalog, HORIZON)
+        ev = PowerAwareScheduler(
+            cap, catalog.config, seed=seed, engine="event"
+        ).run_capped(catalog, HORIZON)
+        assert_schedules_identical(ref.schedule, ev.schedule)
+        assert ref.n_power_delayed == ev.n_power_delayed
+        assert np.array_equal(ref.commitment[0], ev.commitment[0])
+        assert np.array_equal(ref.commitment[1], ev.commitment[1])
+
+    @given(tied_catalog(min_jobs=3, allow_zero_nodes=True), st.integers(0, 2))
+    @settings(max_examples=40, deadline=None)
+    def test_dropped_by_class_accounting(self, catalog, seed):
+        res = Scheduler(catalog.config, seed=seed).run(catalog, HORIZON)
+        assert int(res.dropped_by_class["n_dropped"].sum()) == len(res.dropped)
+        # per-class counts match a direct recount of the dropped ids
+        cls_of = {
+            int(a): int(c)
+            for a, c in zip(
+                catalog.table["allocation_id"], catalog.table["sched_class"]
+            )
+        }
+        for sc, nd in zip(
+            res.dropped_by_class["sched_class"],
+            res.dropped_by_class["n_dropped"],
+        ):
+            assert sum(1 for d in res.dropped if cls_of[int(d)] == sc) == nd
+        stats = queue_statistics(res, catalog)
+        assert "n_dropped" in stats
+        assert int(stats["n_dropped"].sum()) == len(res.dropped)
+
+    @given(tied_catalog(min_jobs=5, allow_zero_nodes=False),
+           st.integers(0, 2), st.booleans(), st.booleans())
+    @settings(max_examples=25, deadline=None)
+    def test_trace_arrays_identical(self, catalog, seed, per_gpu, track):
+        sched = Scheduler(catalog.config, seed=seed).run(catalog, HORIZON)
+        builder = ClusterTraceBuilder(catalog, sched, seed=seed)
+        al = sched.allocations
+        t0 = float(al["begin_time"].min()) if al.n_rows else 0.0
+        loop = builder.build(
+            t0, t0 + 3000.0, 30.0, per_gpu=per_gpu, track_alloc=track,
+            engine="loop",
+        )
+        batch = builder.build(
+            t0, t0 + 3000.0, 30.0, per_gpu=per_gpu, track_alloc=track,
+            engine="batch",
+        )
+        assert np.array_equal(loop.node_input_w, batch.node_input_w)
+        assert np.array_equal(loop.node_cpu_w, batch.node_cpu_w)
+        assert np.array_equal(loop.node_gpu_w, batch.node_gpu_w)
+        if per_gpu:
+            assert np.array_equal(loop.gpu_power_w, batch.gpu_power_w)
+        if track:
+            assert np.array_equal(loop.node_alloc, batch.node_alloc)
+
+    @given(tied_catalog(min_jobs=5, allow_zero_nodes=False))
+    @settings(max_examples=10, deadline=None)
+    def test_noise_cache_is_value_transparent(self, catalog):
+        sched = Scheduler(catalog.config, seed=1).run(catalog, HORIZON)
+        cached = ClusterTraceBuilder(catalog, sched, seed=1)
+        uncached = ClusterTraceBuilder(
+            catalog, sched, seed=1, noise_cache=False
+        )
+        a = cached.build(0.0, 2000.0, 50.0)
+        b = uncached.build(0.0, 2000.0, 50.0)
+        # second cached build hits the cache; must still match
+        c = cached.build(0.0, 2000.0, 50.0)
+        assert np.array_equal(a.node_input_w, b.node_input_w)
+        assert np.array_equal(a.node_input_w, c.node_input_w)
+
+
+class TestEngineValidation:
+    def test_scheduler_rejects_unknown_engine(self):
+        with pytest.raises(ValueError, match="engine"):
+            Scheduler(SUMMIT.scaled(N_NODES), engine="dask")
+
+    def test_power_scheduler_rejects_unknown_engine(self):
+        with pytest.raises(ValueError, match="engine"):
+            PowerAwareScheduler(
+                1e6, SUMMIT.scaled(N_NODES), engine="turbo"
+            )
+
+    def test_builder_rejects_unknown_engine(self):
+        cat = _tiny_catalog()
+        sched = Scheduler(cat.config).run(cat, 10_000.0)
+        with pytest.raises(ValueError, match="engine"):
+            ClusterTraceBuilder(cat, sched, engine="gpu")
+        builder = ClusterTraceBuilder(cat, sched)
+        with pytest.raises(ValueError, match="engine"):
+            builder.build(0.0, 1000.0, 10.0, engine="gpu")
+
+
+def _tiny_catalog():
+    n = 3
+    table = Table(
+        {
+            "allocation_id": np.arange(1, n + 1, dtype=np.int64),
+            "submit_time": np.zeros(n),
+            "node_count": np.full(n, 2, dtype=np.int64),
+            "sched_class": np.full(n, 5, dtype=np.int64),
+            "req_walltime_s": np.full(n, 600.0),
+            "walltime_s": np.full(n, 600.0),
+            "domain": np.array(["Physics"] * n),
+            "project": np.array(["PHY000"] * n),
+            "user_id": np.zeros(n, dtype=np.int64),
+            "gpus_used": np.full(n, 6, dtype=np.int64),
+            "kind_code": np.zeros(n, dtype=np.int64),
+            "cpu_base": np.full(n, 0.3),
+            "cpu_amp": np.zeros(n),
+            "gpu_base": np.full(n, 0.5),
+            "gpu_amp": np.zeros(n),
+            "period_s": np.full(n, 200.0),
+            "duty": np.full(n, 0.6),
+            "phase_s": np.zeros(n),
+        }
+    )
+    return JobCatalog(table=table, config=SUMMIT.scaled(N_NODES))

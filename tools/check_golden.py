@@ -127,6 +127,27 @@ SPECS: dict[str, list] = {
         Exact("late rows skew-free", r"late rows skew-free: (\d+)"),
         Exact("late rows skewed", r"late rows skewed: (\d+)"),
     ],
+    "power_aware": [
+        Exact("engines bit-identical",
+              r"engines bit-identical \(schedule \+ cap accounting\): "
+              r"(\w+)"),
+        # runtime ratio is box-dependent; pin the line + floor only
+        Exact("engine ratio pinned",
+              r"event/reference runtime at 60% cap: [\d.]+x "
+              r"(\(floor [\d.]+x\))"),
+    ],
+    "sched_scale": [
+        Exact("schedule bit-identical",
+              r"schedule bit-identical at all co-timed points: (\w+)"),
+        Exact("trace bit-identical", r"trace arrays bit-identical: (\w+)"),
+        Exact("feed probes match",
+              r"partitioned feed probes match interval index: (\w+)"),
+        # speedups are box/scale-dependent; pin the lines + floors only
+        Exact("jobs/s floor pinned",
+              r"jobs/s speedup at largest point: [\d.]+x (\(floor \d+x\))"),
+        Exact("trace floor pinned",
+              r"trace node-seconds/s speedup: [\d.]+x (\(floor \d+x\))"),
+    ],
     "query_service": [
         Exact("bit-identical to pipeline", r"service == pipeline: (\w+)"),
         # the single-flight and overload splits are decided synchronously
