@@ -227,6 +227,8 @@ def cmd_serve(args) -> int:
         max_queue=args.max_queue,
         tenant_inflight=args.tenant_inflight,
         cache_bytes=args.cache_mb << 20,
+        fragment_bytes=args.fragment_mb << 20,
+        fragment_cache=False if args.no_fragment_cache else None,
         spill_dir=args.spill_dir,
         workers=args.workers,
     ))
@@ -235,8 +237,11 @@ def cmd_serve(args) -> int:
     async def run() -> None:
         host, port = await server.start()
         ds = service.dataset
+        frag = (f"fragment cache {args.fragment_mb} MiB"
+                if service.fragments_enabled else "fragment cache off")
         print(f"serving {ds.name!r} ({ds.n_rows:,} rows, "
-              f"{ds.n_partitions} shards) on {host}:{port}", flush=True)
+              f"{ds.n_partitions} shards, {frag}) on {host}:{port}",
+              flush=True)
         if args.ready_file:
             # written after bind: pollers know the port is accepting
             with open(args.ready_file, "w") as fh:
@@ -292,6 +297,10 @@ def cmd_query(args) -> int:
     shards = resp.get("shards")
     extra = (f" | shards: {shards['scanned']} scanned, "
              f"{shards['pruned']} pruned" if shards else "")
+    frag = resp.get("fragments")
+    if frag:
+        extra += (f" | fragments: {frag['hits'] + frag['shared']} reused, "
+                  f"{frag['misses']} computed")
     print(f"ok: {resp['rows']} rows | cache: {resp['cache']} | "
           f"{resp['elapsed_s'] * 1e3:.1f} ms{extra}")
     table = resp["table"]
@@ -400,6 +409,11 @@ def main(argv: list[str] | None = None) -> int:
                        help="per-tenant held (running+queued) quota")
     p_srv.add_argument("--cache-mb", type=int, default=64,
                        help="in-memory result-cache budget (MiB)")
+    p_srv.add_argument("--fragment-mb", type=int, default=128,
+                       help="per-shard fragment-cache budget (MiB)")
+    p_srv.add_argument("--no-fragment-cache", action="store_true",
+                       help="disable fragment reuse across overlapping "
+                            "queries (answers stay bit-identical)")
     p_srv.add_argument("--spill-dir", default=None,
                        help="optional on-disk result-cache tier")
     p_srv.add_argument("--workers", type=int, default=None,

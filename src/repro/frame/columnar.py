@@ -41,11 +41,20 @@ the default, or ``npz`` for the compressed fallback reader);
 ``REPRO_RCS_COMPRESSION=off`` pins ``.rcs`` writes to the raw version 1
 byte layout's all-raw columns (still a version 2 container).  Both
 fallbacks read back bit-identical tables.
+
+Cold scans additionally hint the kernel: the mapping is marked
+``MADV_SEQUENTIAL`` at creation and each column's byte range gets a
+page-aligned ``madvise(WILLNEED)`` right before its first
+materialization, so the page cache reads ahead of the copy/decode loop.
+Hints are advisory (failures are swallowed) and ``REPRO_RCS_MADVISE=0``
+opts out entirely; they never change what is read, only when pages
+arrive.
 """
 
 from __future__ import annotations
 
 import json
+import mmap
 import os
 import struct
 import zlib
@@ -75,6 +84,7 @@ __all__ = [
     "zone_map",
     "storage_format",
     "compression_mode",
+    "madvise_enabled",
 ]
 
 RCS_MAGIC = b"RCS1"
@@ -85,6 +95,17 @@ RCS_VERSION = 2
 _ALIGN = 64
 
 _FORMATS = ("rcs", "npz")
+
+#: page size for madvise range alignment (madvise wants page multiples)
+_PAGE = mmap.ALLOCATIONGRANULARITY
+
+
+def madvise_enabled() -> bool:
+    """Cold-scan readahead hints are on unless ``REPRO_RCS_MADVISE``
+    disables them (``0``/``off``/``false``)."""
+    return os.environ.get("REPRO_RCS_MADVISE", "1").strip().lower() not in (
+        "0", "off", "false"
+    )
 
 
 def storage_format(default: str = "rcs") -> str:
@@ -325,6 +346,7 @@ class RcsFile:
         self._validate(footer)
         self._mm: np.memmap | None = None
         self._decoded: dict[str, np.ndarray] = {}
+        self._advised: set[str] = set()
 
     def _validate(self, footer: dict) -> None:
         """Reject structurally impossible footers before any data read."""
@@ -417,7 +439,31 @@ class RcsFile:
     def _mapping(self) -> np.memmap:
         if self._mm is None:
             self._mm = np.memmap(self.path, dtype=np.uint8, mode="r")
+            if madvise_enabled():
+                try:
+                    self._mm._mmap.madvise(mmap.MADV_SEQUENTIAL)
+                except (AttributeError, ValueError, OSError):
+                    pass  # advisory only; platform may lack madvise
         return self._mm
+
+    def _advise(self, name: str) -> None:
+        """``madvise(WILLNEED)`` the column's byte range ahead of a cold
+        materialization, so the kernel reads its pages ahead of the
+        copy/decode loop instead of faulting one page at a time.  Advisory
+        and idempotent per reader; no-op when the platform lacks madvise
+        or ``REPRO_RCS_MADVISE`` opts out."""
+        if name in self._advised or not madvise_enabled():
+            return
+        self._advised.add(name)
+        meta = self._cols[name]
+        offset, nbytes = int(meta["offset"]), int(meta["nbytes"])
+        start = offset - (offset % _PAGE)
+        try:
+            self._mapping()._mmap.madvise(
+                mmap.MADV_WILLNEED, start, nbytes + (offset - start)
+            )
+        except (AttributeError, ValueError, OSError):
+            pass
 
     def _decode(self, name: str) -> np.ndarray:
         """Decode (and cache) one encoded column."""
@@ -425,6 +471,7 @@ class RcsFile:
         if got is None:
             meta = self._cols[name]
             mm = self._mapping()
+            self._advise(name)
             payload = bytes(mm[meta["offset"]:meta["offset"] + meta["nbytes"]])
             got = decode_column(
                 meta["enc"], payload, np.dtype(meta["dtype"]), self.n_rows
@@ -469,6 +516,7 @@ class RcsFile:
             if "enc" in meta:
                 view = self._decode(name)
             else:
+                self._advise(name)
                 raw = mm[meta["offset"]:meta["offset"] + meta["nbytes"]]
                 view = raw.view(np.dtype(meta["dtype"]))
             cols[name] = view if rows is None else view[rows]
@@ -486,21 +534,49 @@ class RcsFile:
         are copied from the cache.  On a decode error the destination's
         contents are unspecified.
         """
+        self.read_range_into(out, 0, self.n_rows)
+
+    def read_range_into(
+        self, out: dict[str, np.ndarray], lo: int, hi: int
+    ) -> None:
+        """:meth:`read_into` restricted to rows ``[lo, hi)``.
+
+        Each ``out`` value must be a writeable ``(hi - lo,)`` array of the
+        column's exact dtype.  Raw columns copy the row range straight
+        out of the mapping; encoded columns decode into the destination
+        when the whole shard is asked for (the no-intermediate path) and
+        otherwise copy the range from the reader's decode cache.  This is
+        what lets a multi-shard merged read land every shard's slice in
+        one preallocated buffer with no per-shard intermediates.
+        """
+        if not 0 <= lo <= hi <= self.n_rows:
+            raise ValueError(
+                f"row range [{lo}, {hi}) outside [0, {self.n_rows}) "
+                f"in {self.path}"
+            )
         missing = [n for n in out if n not in self._cols]
         if missing:
             raise KeyError(
                 f"no columns {missing} in {self.path}; have {self.columns}"
             )
+        n = hi - lo
+        for name, dest in out.items():
+            if dest.shape != (n,):
+                raise ValueError(
+                    f"destination for {name!r} has shape {dest.shape}, "
+                    f"need ({n},)"
+                )
         mm = self._mapping()
         for name, dest in out.items():
             meta = self._cols[name]
+            self._advise(name)
             if "enc" not in meta:
                 raw = mm[meta["offset"]:meta["offset"] + meta["nbytes"]]
-                np.copyto(dest, raw.view(np.dtype(meta["dtype"])),
+                np.copyto(dest, raw.view(np.dtype(meta["dtype"]))[lo:hi],
                           casting="no")
             elif name in self._decoded:
-                np.copyto(dest, self._decoded[name], casting="no")
-            else:
+                np.copyto(dest, self._decoded[name][lo:hi], casting="no")
+            elif lo == 0 and hi == self.n_rows:
                 payload = bytes(
                     mm[meta["offset"]:meta["offset"] + meta["nbytes"]]
                 )
@@ -508,6 +584,8 @@ class RcsFile:
                     meta["enc"], payload, np.dtype(meta["dtype"]),
                     self.n_rows, out=dest,
                 )
+            else:
+                np.copyto(dest, self._decode(name)[lo:hi], casting="no")
 
     def read_time_range(
         self,

@@ -10,14 +10,15 @@ newline-delimited-JSON TCP (:class:`~repro.serve.server.TelemetryServer`
 / :class:`~repro.serve.client.QueryClient`).
 """
 
-from repro.serve.cache import ResultCache, SingleFlight
+from repro.serve.cache import FragmentCache, ResultCache, SingleFlight
 from repro.serve.client import QueryClient, ServiceError
-from repro.serve.planner import QueryPlan, plan_query
+from repro.serve.planner import QueryPlan, ShardTask, plan_query
 from repro.serve.query import DERIVED, LEVELS, Query, QueryError
 from repro.serve.server import (
     QueryService,
     ServiceConfig,
     TelemetryServer,
+    fragment_cache_enabled,
     table_from_wire,
     table_to_wire,
 )
@@ -30,8 +31,11 @@ __all__ = [
     "LEVELS",
     "DERIVED",
     "QueryPlan",
+    "ShardTask",
     "plan_query",
     "ResultCache",
+    "FragmentCache",
+    "fragment_cache_enabled",
     "SingleFlight",
     "Admission",
     "TenantState",

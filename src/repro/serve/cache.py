@@ -9,11 +9,17 @@ through an ``ArtifactCache`` so evicted results survive on disk — written
 with the same :func:`~repro.pipeline.cache.atomic_put_npz` helper, so a
 concurrent reader can never observe a torn entry.
 
+:class:`FragmentCache` is the same LRU one level down: it keys per-shard
+partial aggregates (*fragments*) instead of finished queries, so queries
+that merely *overlap* — different fingerprints, shared shards — reuse
+each other's shard work and only compute the uncovered remainder.
+
 :class:`SingleFlight` collapses N identical concurrent queries into one
 execution: the first caller becomes the *leader* and runs the work; every
 other caller awaits the leader's future and shares its result.  Combined
-with the cache this gives the service its headline property — a stampede
-of identical queries costs one shard scan.
+with the caches this gives the service its headline property — a stampede
+of identical queries costs one shard scan, and a stampede of overlapping
+ones costs one scan per distinct shard.
 """
 
 from __future__ import annotations
@@ -25,7 +31,7 @@ from collections.abc import Awaitable, Callable
 from repro.frame.table import Table
 from repro.pipeline.cache import ArtifactCache
 
-__all__ = ["ResultCache", "SingleFlight"]
+__all__ = ["ResultCache", "FragmentCache", "SingleFlight"]
 
 
 class ResultCache:
@@ -109,6 +115,25 @@ class ResultCache:
         self._bytes.clear()
         self.n_bytes = 0
         return n
+
+
+class FragmentCache(ResultCache):
+    """Byte-capped LRU of per-shard *fragments* — full-shard partial
+    aggregates keyed by :meth:`repro.serve.planner.QueryPlan.fragment_key`
+    (shard generation identity + kernel parameters).
+
+    Mechanically a :class:`ResultCache` (same LRU, byte cap, and
+    counters), but it caches *below* the query level: two queries with
+    different time ranges share every fragment of the shards they both
+    cover, so an overlapping query only computes its uncovered remainder.
+    Fragments are tiny (a few coarsen windows per shard), so the default
+    cap holds thousands of shard-kernels.  Never spilled: a fragment is
+    cheaper to recompute than a full query, and the disk tier belongs to
+    finished results.
+    """
+
+    def __init__(self, max_bytes: int = 128 << 20):
+        super().__init__(max_bytes)
 
 
 class SingleFlight:

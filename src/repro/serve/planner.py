@@ -17,9 +17,21 @@ Planning reuses the whole pushdown stack the batch pipeline built:
   :meth:`repro.pipeline.runner.Pipeline.telemetry_series` for the same
   selection (asserted by ``tests/serve`` and the service benchmark).
 
-Shard tasks (:meth:`QueryPlan.run_shard`) are independent and side-effect
+Shard tasks (:meth:`QueryPlan.tasks`) are independent and side-effect
 free, so the server fans them out across a worker pool; the tiny
 per-shard results are merged by :meth:`QueryPlan.finalize` on the way out.
+
+Each task also carries its **fragment identity** — whether the shard's
+full-shard aggregate (its *fragment*) can stand in for the task's answer,
+and under which cache key.  The coarsen grid is epoch-aligned
+(``window_index`` puts row ``t`` in window ``k`` iff exactly
+``float(k) * width <= t < float(k + 1) * width``), so when a query bound
+lands on the grid no window straddles it: the full fragment restricted to
+window starts in ``[lo, hi)`` is **bit-identical** to aggregating the raw
+row slice directly.  That is what lets the service memoize one fragment
+per ``(shard, kernel)`` and serve every overlapping query from it
+(:class:`~repro.serve.cache.FragmentCache`), while unaligned bounds fall
+back to a direct, uncached slice computation.
 """
 
 from __future__ import annotations
@@ -30,10 +42,48 @@ import numpy as np
 
 from repro.config import SUMMIT
 from repro.frame.table import Table, concat
+from repro.frame.window import window_index
 from repro.parallel.partition import PartitionedDataset
+from repro.pipeline.cache import cache_key
 from repro.serve.query import Query, QueryError
 
-__all__ = ["QueryPlan", "plan_query"]
+__all__ = ["ShardTask", "QueryPlan", "plan_query"]
+
+#: the window-start column every aggregated level carries
+#: (``window_aggregate``'s ``out_time``); fragments are sliced on it
+OUT_TIME = "timestamp"
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """One independent unit of a plan's fan-out.
+
+    ``coverage`` classifies how the query's time range lands on the shard:
+
+    * ``"full"`` — the range covers every row, so the task's answer *is*
+      the shard's full fragment (cacheable under ``fragment_key``);
+    * ``"aligned"`` — partial coverage whose constrained bound(s) lie
+      exactly on the coarsen-window grid: the full fragment, restricted
+      to window starts in ``[lo, hi)``
+      (:meth:`QueryPlan.slice_fragment`), is bit-identical to computing
+      the slice directly — so the task can be served from (and populate)
+      the fragment cache;
+    * ``"partial"`` — an unaligned bound: a boundary window would
+      aggregate a different row subset than the full fragment's, so the
+      task computes its exact row slice directly and is never cached;
+    * ``"raw"`` — no aggregation kernels: one merged multi-shard read
+      over the whole plan (``index`` is -1).
+
+    ``lo``/``hi`` are the task's slice bounds with unconstrained sides
+    widened to ±inf — canonical, so every query that fully covers a shard
+    shares the same fragment regardless of its own range.
+    """
+
+    index: int
+    lo: float
+    hi: float
+    coverage: str
+    fragment_key: str | None = None
 
 
 @dataclass
@@ -79,6 +129,125 @@ class QueryPlan:
         return self.run_shard_table(
             self.dataset.read_time_range(
                 index, self.t_lo, self.t_hi,
+                columns=self.projection, time=self.query.time,
+            )
+        )
+
+    # ---------------- shard tasks & fragments ----------------
+
+    def _shard_bounds(self, index: int) -> tuple[float, float, bool]:
+        """(data_lo, data_hi, inclusive_hi) — the shard's actual time
+        bounds from its zone map when present, else its declared
+        half-open extent."""
+        meta = self.dataset.partitions[index]
+        zone = (meta.zone or {}).get(self.query.time)
+        if zone is not None and zone.get("min") is not None:
+            return float(zone["min"]), float(zone["max"]), True
+        return meta.t_begin, meta.t_end, False
+
+    def _grid_aligned(self, value: float) -> bool:
+        """True when ``value`` sits exactly on the coarsen-window grid —
+        tested with the same guarded arithmetic ``window_index`` uses, so
+        "aligned" means precisely "no window straddles this bound"."""
+        width = self.query.width
+        k = int(window_index(
+            np.asarray([value], dtype=np.float64), width
+        )[0])
+        return float(k) * width == value
+
+    def fragment_key(self, index: int) -> str:
+        """Cache key of shard ``index``'s full fragment.
+
+        Folds in the shard's identity — its generation-stamped filename
+        plus row/byte counts and time zone bounds, so shards rewritten by
+        :meth:`~repro.parallel.partition.PartitionedDataset.compact` can
+        never alias a stale fragment — and everything that shapes the
+        fragment: level, metrics, width, grouping columns, and the node
+        selection.  The query's own time range is deliberately absent:
+        every query overlapping the shard shares one fragment.
+        """
+        meta = self.dataset.partitions[index]
+        zone = (meta.zone or {}).get(self.query.time) or {}
+        q = self.query
+        return cache_key(
+            "serve.fragment.v1",
+            dataset=[self.dataset.name, str(self.dataset.root)],
+            shard=[meta.filename, meta.n_rows, meta.n_bytes,
+                   meta.t_begin, meta.t_end,
+                   zone.get("min"), zone.get("max")],
+            kernel=[q.level, q.width, list(q.metrics), q.by, q.time,
+                    None if self.node_ids is None else list(self.node_ids)],
+        )
+
+    def tasks(self) -> list[ShardTask]:
+        """The plan's independent fan-out units, in shard-time order.
+
+        Kernel levels get one task per surviving shard, classified by
+        fragment reusability (see :class:`ShardTask`); the raw level gets
+        a single merged-read task (per-shard kernels do no work there, so
+        one preallocated multi-shard read beats N reads + concat).
+        """
+        if not self.shards:
+            return []
+        if self.query.level == "raw":
+            return [ShardTask(-1, self.t_lo, self.t_hi, "raw")]
+        out = []
+        for i in self.shards:
+            data_lo, data_hi, incl = self._shard_bounds(i)
+            free_lo = self.t_lo <= data_lo
+            free_hi = self.t_hi > data_hi if incl else self.t_hi >= data_hi
+            lo = -np.inf if free_lo else self.t_lo
+            hi = np.inf if free_hi else self.t_hi
+            if free_lo and free_hi:
+                out.append(ShardTask(i, lo, hi, "full",
+                                     self.fragment_key(i)))
+            elif (free_lo or self._grid_aligned(self.t_lo)) and (
+                free_hi or self._grid_aligned(self.t_hi)
+            ):
+                out.append(ShardTask(i, lo, hi, "aligned",
+                                     self.fragment_key(i)))
+            else:
+                out.append(ShardTask(i, lo, hi, "partial"))
+        return out
+
+    def run_fragment(self, index: int) -> Table:
+        """Shard ``index``'s full fragment: the kernel chain over every
+        row (the unit :class:`~repro.serve.cache.FragmentCache` stores)."""
+        return self.run_shard_table(
+            self.dataset.read_time_range(
+                index, -np.inf, np.inf,
+                columns=self.projection, time=self.query.time,
+            )
+        )
+
+    def slice_fragment(self, fragment: Table, lo: float, hi: float) -> Table:
+        """Restrict a full fragment to window starts in ``[lo, hi)``.
+
+        Bit-identical to computing the row slice directly when ``lo`` /
+        ``hi`` are grid-aligned (or ±inf): the per-group kernels reduce
+        each window independently (``reduceat`` over runs), and aligned
+        bounds mean no window's rows straddle the cut.
+        """
+        t = np.asarray(fragment[OUT_TIME])
+        mask = (t >= lo) & (t < hi)
+        return fragment if mask.all() else fragment.filter(mask)
+
+    def run_task(self, task: ShardTask) -> Table:
+        """Execute one task directly (no fragment cache involved — the
+        service layers caching on top via :meth:`run_fragment` +
+        :meth:`slice_fragment` for ``full``/``aligned`` tasks)."""
+        if task.coverage == "raw":
+            return self._filter_nodes(
+                self.dataset.read_time_range_merged(
+                    self.shards, task.lo, task.hi,
+                    columns=self.projection, time=self.query.time,
+                )
+            )
+        if task.coverage == "full":
+            return self.run_fragment(task.index)
+        return self.run_shard_table(
+            self.dataset.read_time_range(
+                task.index, task.lo, task.hi,
                 columns=self.projection, time=self.query.time,
             )
         )
@@ -148,9 +317,10 @@ class QueryPlan:
         )
 
     def execute(self) -> Table:
-        """Run every shard serially and finalize (the in-process path; the
-        server fans :meth:`run_shard` out across its worker pool instead)."""
-        return self.finalize([self.run_shard(i) for i in self.shards])
+        """Run every task serially and finalize (the in-process reference
+        path; the server fans :meth:`run_task` out across its worker pool
+        and layers the fragment cache on top)."""
+        return self.finalize([self.run_task(t) for t in self.tasks()])
 
 
 def plan_query(

@@ -31,8 +31,8 @@ from repro.config import SUMMIT
 from repro.frame.table import Table
 from repro.parallel.partition import PartitionedDataset
 from repro.pipeline.cache import ArtifactCache
-from repro.serve.cache import ResultCache, SingleFlight
-from repro.serve.planner import plan_query
+from repro.serve.cache import FragmentCache, ResultCache, SingleFlight
+from repro.serve.planner import QueryPlan, ShardTask, plan_query
 from repro.serve.query import Query, QueryError
 from repro.serve.session import Admission, RejectedError
 from repro.serve.stats import ServiceStats
@@ -41,6 +41,7 @@ __all__ = [
     "ServiceConfig",
     "QueryService",
     "TelemetryServer",
+    "fragment_cache_enabled",
     "table_to_wire",
     "table_from_wire",
 ]
@@ -72,15 +73,33 @@ def table_from_wire(raw: dict) -> Table:
 
 @dataclass(frozen=True)
 class ServiceConfig:
-    """Service knobs (admission bounds, cache tiers, worker pool)."""
+    """Service knobs (admission bounds, cache tiers, worker pool).
+
+    ``fragment_cache=None`` defers to ``REPRO_FRAGMENT_CACHE`` (on unless
+    ``0``/``off``/``false``); results are bit-identical either way, the
+    cache only changes how much shard work overlapping queries share.
+    ``encode_offload_bytes`` is the result-table size at which the TCP
+    layer moves NDJSON encoding off the event loop.
+    """
 
     max_inflight: int = 8
     max_queue: int = 16
     tenant_inflight: int = 4
     cache_bytes: int = 64 << 20
+    fragment_bytes: int = 128 << 20
+    fragment_cache: bool | None = None
+    encode_offload_bytes: int = 32 << 10
     spill_dir: str | os.PathLike | None = None
     workers: int | None = None
     nodes_per_cabinet: int = SUMMIT.nodes_per_cabinet
+
+
+def fragment_cache_enabled(default: bool = True) -> bool:
+    """The ``REPRO_FRAGMENT_CACHE`` switch (on by default)."""
+    raw = os.environ.get("REPRO_FRAGMENT_CACHE")
+    if raw is None:
+        return default
+    return raw.strip().lower() not in ("0", "off", "false")
 
 
 class QueryService:
@@ -91,6 +110,15 @@ class QueryService:
     fan-out execution (``"miss"``).  Hits and followers bypass admission
     entirely — they cost no worker, so capacity stays reserved for
     queries that actually scan shards.
+
+    Cold execution fans the plan's per-shard tasks out concurrently over
+    the worker pool and routes fragment-eligible tasks through the
+    :class:`~repro.serve.cache.FragmentCache`: a query overlapping
+    previously-computed shards reuses their full-shard aggregates (or
+    grid-aligned slices of them) and only computes the uncovered
+    remainder, with per-fragment single-flight so concurrent overlapping
+    queries compute each distinct shard exactly once between them.
+    Answers are bit-identical with the cache on or off.
     """
 
     def __init__(
@@ -108,6 +136,14 @@ class QueryService:
             else None
         )
         self.cache = ResultCache(self.config.cache_bytes, spill=spill)
+        self.fragments = FragmentCache(self.config.fragment_bytes)
+        on = self.config.fragment_cache
+        self.fragments_enabled = (
+            fragment_cache_enabled() if on is None else bool(on)
+        )
+        #: per-fragment single-flight: concurrent queries needing the same
+        #: uncached fragment compute it once and share the result
+        self._frag_flights: dict[str, asyncio.Future] = {}
         self.flight = SingleFlight()
         self.admission = Admission(
             max_inflight=self.config.max_inflight,
@@ -182,12 +218,14 @@ class QueryService:
                 query, self.dataset,
                 nodes_per_cabinet=self.config.nodes_per_cabinet,
             )
+            frag = {"hits": 0, "shared": 0, "misses": 0,
+                    "full": 0, "aligned": 0, "partial": 0}
             loop = asyncio.get_running_loop()
+            # fan the plan's tasks out concurrently; gather preserves task
+            # order, so the merge is deterministic regardless of which
+            # shard finishes first
             parts = await asyncio.gather(
-                *(
-                    loop.run_in_executor(self._pool, plan.run_shard, i)
-                    for i in plan.shards
-                )
+                *(self._run_task(plan, t, frag) for t in plan.tasks())
             )
             table = await loop.run_in_executor(
                 self._pool, plan.finalize, list(parts)
@@ -207,10 +245,61 @@ class QueryService:
             "scanned": len(plan.shards),
             "pruned": plan.n_shards_pruned,
             "exec_s": exec_s,
+            "fragments": frag,
         }
         self.cache.put(key, table)
         self.flight.resolve(key, (table, meta))
         return self._ok(query, tenant, table, "miss", t0, queued_s, meta)
+
+    async def _run_task(
+        self, plan: QueryPlan, task: ShardTask, frag: dict
+    ) -> Table:
+        """Execute one shard task, going through the fragment cache when
+        the task is fragment-eligible (``full``/``aligned`` coverage).
+
+        The cache lookup, the flight registration, and the counter updates
+        all happen synchronously on the event loop, so concurrent queries
+        can never both compute one fragment: the first becomes its leader,
+        the rest await the leader's future (fragment-level single-flight,
+        across *different* queries).  Fragment keys carry the shard's
+        generation identity, so a post-``compact()`` shard can never be
+        served a stale fragment.
+        """
+        loop = asyncio.get_running_loop()
+        if task.coverage in ("full", "aligned"):
+            frag[task.coverage] += 1
+        elif task.coverage == "partial":
+            frag["partial"] += 1
+        key = task.fragment_key if self.fragments_enabled else None
+        if key is None:
+            return await loop.run_in_executor(self._pool, plan.run_task, task)
+        fragment = self.fragments.get(key)
+        if fragment is not None:
+            frag["hits"] += 1
+        elif (fut := self._frag_flights.get(key)) is not None:
+            fragment = await asyncio.shield(fut)
+            frag["shared"] += 1
+        else:
+            fut = loop.create_future()
+            self._frag_flights[key] = fut
+            try:
+                fragment = await loop.run_in_executor(
+                    self._pool, plan.run_fragment, task.index
+                )
+            except BaseException as err:
+                self._frag_flights.pop(key, None)
+                if not fut.done():
+                    fut.set_exception(err)
+                    fut.exception()  # mark retrieved: may have no waiters
+                raise
+            self._frag_flights.pop(key, None)
+            self.fragments.put(key, fragment)
+            if not fut.done():
+                fut.set_result(fragment)
+            frag["misses"] += 1
+        if task.coverage == "aligned":
+            return plan.slice_fragment(fragment, task.lo, task.hi)
+        return fragment
 
     def _ok(
         self,
@@ -229,13 +318,22 @@ class QueryService:
         st.wall_s += elapsed
         if cache == "hit":
             st.cache_hits += 1
+        executed = cache == "miss" and meta is not None
+        fragments = meta.get("fragments") if meta else None
+        if executed:
+            st.shards_scanned += meta["scanned"]
+            if fragments:
+                st.frag_hits += (
+                    fragments["hits"] + fragments["shared"]
+                )
         self.stats.record_ok(
             cache=cache,
             rows=table.n_rows,
             elapsed_s=elapsed,
-            shards_scanned=meta["scanned"] if cache == "miss" and meta else 0,
-            shards_pruned=meta["pruned"] if cache == "miss" and meta else 0,
-            executed_s=meta["exec_s"] if cache == "miss" and meta else None,
+            shards_scanned=meta["scanned"] if executed else 0,
+            shards_pruned=meta["pruned"] if executed else 0,
+            executed_s=meta["exec_s"] if executed else None,
+            fragments=fragments if executed else None,
         )
         resp = {
             "status": "ok",
@@ -249,6 +347,8 @@ class QueryService:
         if meta is not None:
             resp["shards"] = {"scanned": meta["scanned"],
                               "pruned": meta["pruned"]}
+            if fragments is not None:
+                resp["fragments"] = dict(fragments)
         return resp
 
     def snapshot(self) -> dict:
@@ -261,6 +361,14 @@ class QueryService:
             "misses": self.cache.misses,
             "evictions": self.cache.evictions,
             "spill_hits": self.cache.spill_hits,
+        }
+        out["fragment_cache"] = {
+            "enabled": self.fragments_enabled,
+            "entries": self.fragments.n_entries,
+            "bytes": self.fragments.n_bytes,
+            "hits": self.fragments.hits,
+            "misses": self.fragments.misses,
+            "evictions": self.fragments.evictions,
         }
         out["dataset"] = {
             "name": self.dataset.name,
@@ -323,9 +431,23 @@ class TelemetryServer:
                 if not line:
                     break
                 resp = await self._dispatch(line)
-                writer.write(
-                    json.dumps(resp, separators=(",", ":")).encode() + b"\n"
-                )
+                table = resp.get("table")
+                if (
+                    isinstance(table, Table)
+                    and table.nbytes()
+                    >= self.service.config.encode_offload_bytes
+                ):
+                    # big results: wire conversion + JSON encoding would
+                    # stall the event loop for milliseconds per response
+                    # (convoying every other connection) — do it on the
+                    # worker pool instead
+                    self.service.stats.encode_offloads += 1
+                    payload = await asyncio.get_running_loop().run_in_executor(
+                        self.service._pool, self._encode, resp
+                    )
+                else:
+                    payload = self._encode(resp)
+                writer.write(payload)
                 await writer.drain()
         except (ConnectionResetError, BrokenPipeError):
             pass
@@ -350,13 +472,20 @@ class TelemetryServer:
             return {"status": "ok", "op": "stats",
                     "stats": self.service.snapshot()}
         if op == "query":
-            resp = dict(
+            # the table stays live here; _handle's encode step (possibly
+            # on the worker pool) converts it to wire form
+            return dict(
                 await self.service.query(
                     req.get("query") or {}, tenant=req.get("tenant", "default")
                 )
             )
-            table = resp.get("table")
-            if isinstance(table, Table):
-                resp["table"] = table_to_wire(table)
-            return resp
         return {"status": "error", "error": f"unknown op {op!r}"}
+
+    @staticmethod
+    def _encode(resp: dict) -> bytes:
+        """One NDJSON response line (wire-converts a live table first)."""
+        table = resp.get("table")
+        if isinstance(table, Table):
+            resp = dict(resp)
+            resp["table"] = table_to_wire(table)
+        return json.dumps(resp, separators=(",", ":")).encode() + b"\n"

@@ -48,6 +48,8 @@ class TenantState:
     errors: int = 0
     queued: int = 0
     cache_hits: int = 0
+    frag_hits: int = 0      # fragments served from cache or a shared flight
+    shards_scanned: int = 0
     rows_served: int = 0
     wall_s: float = 0.0
 

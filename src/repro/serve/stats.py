@@ -68,6 +68,15 @@ class ServiceStats:
         self.rows_served = 0
         self.shards_scanned = 0
         self.shards_pruned = 0
+        # fragment-cache accounting (executed queries only)
+        self.frag_hits = 0      # tasks served straight from the cache
+        self.frag_shared = 0    # tasks that joined another query's compute
+        self.frag_misses = 0    # tasks that computed (and cached) a fragment
+        self.tasks_full = 0     # shard fully covered -> fragment as-is
+        self.tasks_aligned = 0  # grid-aligned partial -> fragment slice
+        self.tasks_partial = 0  # unaligned partial -> direct, uncached
+        self.encode_offloads = 0  # large NDJSON encodes moved off the loop
+        self.fanout = LatencyReservoir()  # shards scanned per executed query
         self.latency = LatencyReservoir()
         self.exec_latency = LatencyReservoir()
 
@@ -82,6 +91,7 @@ class ServiceStats:
         shards_scanned: int = 0,
         shards_pruned: int = 0,
         executed_s: float | None = None,
+        fragments: dict | None = None,
     ) -> None:
         self.queries += 1
         self.ok += 1
@@ -95,8 +105,16 @@ class ServiceStats:
             self.executed += 1
             self.shards_scanned += shards_scanned
             self.shards_pruned += shards_pruned
+            self.fanout.add(float(shards_scanned))
             if executed_s is not None:
                 self.exec_latency.add(executed_s)
+            if fragments:
+                self.frag_hits += fragments.get("hits", 0)
+                self.frag_shared += fragments.get("shared", 0)
+                self.frag_misses += fragments.get("misses", 0)
+                self.tasks_full += fragments.get("full", 0)
+                self.tasks_aligned += fragments.get("aligned", 0)
+                self.tasks_partial += fragments.get("partial", 0)
 
     def record_rejected(self) -> None:
         self.queries += 1
@@ -115,6 +133,25 @@ class ServiceStats:
             return 0.0
         return (self.cache_hits + self.cache_shared) / self.ok
 
+    @property
+    def fragment_hit_ratio(self) -> float:
+        """Fraction of fragment-eligible tasks served without computing
+        (cache hits + shared flights)."""
+        total = self.frag_hits + self.frag_shared + self.frag_misses
+        if not total:
+            return 0.0
+        return (self.frag_hits + self.frag_shared) / total
+
+    @property
+    def partial_coverage_ratio(self) -> float:
+        """Fraction of kernel tasks that only partially covered their
+        shard (aligned slices + unaligned directs) — how ragged query
+        edges are against the shard grid."""
+        total = self.tasks_full + self.tasks_aligned + self.tasks_partial
+        if not total:
+            return 0.0
+        return (self.tasks_aligned + self.tasks_partial) / total
+
     def snapshot(self, admission: Admission | None = None) -> dict:
         """JSON-safe counters (the wire answer to the ``stats`` op)."""
         out = {
@@ -128,6 +165,17 @@ class ServiceStats:
             "rows_served": self.rows_served,
             "shards_scanned": self.shards_scanned,
             "shards_pruned": self.shards_pruned,
+            "frag_hits": self.frag_hits,
+            "frag_shared": self.frag_shared,
+            "frag_misses": self.frag_misses,
+            "tasks_full": self.tasks_full,
+            "tasks_aligned": self.tasks_aligned,
+            "tasks_partial": self.tasks_partial,
+            "fragment_hit_ratio": round(self.fragment_hit_ratio, 4),
+            "partial_coverage_ratio": round(self.partial_coverage_ratio, 4),
+            "fanout_mean": round(self.fanout.mean, 2)
+            if len(self.fanout) else 0.0,
+            "encode_offloads": self.encode_offloads,
             "p50_ms": round(self.latency.p50 * 1e3, 3),
             "p99_ms": round(self.latency.p99 * 1e3, 3),
         }
@@ -143,6 +191,8 @@ class ServiceStats:
                     "rejected": t.rejected,
                     "queued": t.queued,
                     "cache_hits": t.cache_hits,
+                    "frag_hits": t.frag_hits,
+                    "shards_scanned": t.shards_scanned,
                     "rows_served": t.rows_served,
                 }
                 for name, t in sorted(admission.tenants.items())
@@ -163,6 +213,18 @@ class ServiceStats:
             ["rows served", f"{self.rows_served:,}"],
             ["shards scanned / pruned",
              f"{self.shards_scanned} / {self.shards_pruned}"],
+            ["fragments hit / shared / computed",
+             f"{self.frag_hits} / {self.frag_shared} / {self.frag_misses}"],
+            ["fragment hit ratio", f"{self.fragment_hit_ratio:.2f}"],
+            ["tasks full / aligned / partial",
+             f"{self.tasks_full} / {self.tasks_aligned} / "
+             f"{self.tasks_partial}"],
+            ["partial-coverage ratio",
+             f"{self.partial_coverage_ratio:.2f}"],
+            ["shard fan-out mean / p99",
+             "-" if not len(self.fanout)
+             else f"{self.fanout.mean:.1f} / {self.fanout.p99:.0f}"],
+            ["encode offloads", self.encode_offloads],
             ["latency p50 / p99 (ms)",
              f"{ms(self.latency.p50)} / {ms(self.latency.p99)}"],
             ["exec p50 / p99 (ms)",
@@ -173,12 +235,13 @@ class ServiceStats:
             return text
         tenant_rows = [
             [t.name, t.queries, t.ok, t.rejected, t.queued, t.cache_hits,
+             t.frag_hits, t.shards_scanned,
              f"{t.rows_served:,}", f"{t.wall_s:.3f}"]
             for t in sorted(admission.tenants.values(), key=lambda t: t.name)
         ]
         return text + "\n" + render_table(
             ["tenant", "queries", "ok", "rejected", "queued", "hits",
-             "rows", "seconds"],
+             "frags", "shards", "rows", "seconds"],
             tenant_rows,
             title="tenants",
         )

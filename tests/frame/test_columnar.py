@@ -360,3 +360,66 @@ class TestReadInto:
         r = open_rcs(tmp_path / "w.rcs")
         with pytest.raises(KeyError, match="ghost"):
             r.read_into({"ghost": np.empty(r.n_rows, np.float64)})
+
+
+class TestReadRangeInto:
+    """``RcsFile.read_range_into``: row-ranged decode into merge buffers."""
+
+    def test_matches_sliced_read(self, tmp_path):
+        table = TestReadInto._wide()
+        save_rcs(table, tmp_path / "w.rcs", compression="auto")
+        r = open_rcs(tmp_path / "w.rcs")
+        lo, hi = 123, 457
+        out = {c: np.empty(hi - lo, dt) for c, dt in r.dtypes.items()}
+        r.read_range_into(out, lo, hi)
+        want = r.read(rows=slice(lo, hi))
+        for c in table.columns:
+            a, b = out[c], np.asarray(want[c])
+            assert np.array_equal(a.view(np.uint8), b.view(np.uint8)), c
+
+    def test_full_range_is_read_into(self, tmp_path):
+        table = TestReadInto._wide()
+        save_rcs(table, tmp_path / "w.rcs", compression="auto")
+        r = open_rcs(tmp_path / "w.rcs")
+        a = {c: np.empty(r.n_rows, dt) for c, dt in r.dtypes.items()}
+        b = {c: np.empty(r.n_rows, dt) for c, dt in r.dtypes.items()}
+        r.read_range_into(a, 0, r.n_rows)
+        open_rcs(tmp_path / "w.rcs").read_into(b)
+        for c in table.columns:
+            assert np.array_equal(
+                a[c].view(np.uint8), b[c].view(np.uint8)
+            ), c
+
+    def test_bad_range_and_shape_raise(self, tmp_path):
+        save_rcs(TestReadInto._wide(), tmp_path / "w.rcs")
+        r = open_rcs(tmp_path / "w.rcs")
+        with pytest.raises(ValueError, match="row range"):
+            r.read_range_into({"t": np.empty(5)}, 3, r.n_rows + 3)
+        with pytest.raises(ValueError, match="shape"):
+            r.read_range_into({"t": np.empty(5)}, 0, 10)
+
+
+class TestMadvise:
+    """Readahead hints: purely advisory, env-gated, never change results."""
+
+    def test_opt_out_reads_identically(self, tmp_path, monkeypatch):
+        table = TestReadInto._wide()
+        save_rcs(table, tmp_path / "w.rcs", compression="auto")
+        hinted = open_rcs(tmp_path / "w.rcs").read()
+        monkeypatch.setenv("REPRO_RCS_MADVISE", "0")
+        from repro.frame.columnar import madvise_enabled
+
+        assert not madvise_enabled()
+        plain = open_rcs(tmp_path / "w.rcs").read()
+        for c in table.columns:
+            assert np.array_equal(
+                np.asarray(hinted[c]).view(np.uint8),
+                np.asarray(plain[c]).view(np.uint8),
+            ), c
+
+    def test_advise_is_idempotent_per_column(self, tmp_path):
+        save_rcs(TestReadInto._wide(), tmp_path / "w.rcs")
+        r = open_rcs(tmp_path / "w.rcs")
+        r.read(["t"])
+        r.read(["t", "node"])
+        assert {"t", "node"} <= r._advised

@@ -312,3 +312,54 @@ class TestStitchedToTable:
             arr = np.asarray(t[c])
             assert arr.flags.writeable, c
             assert arr.base is None, c
+
+
+class TestMergedTimeRangeRead:
+    def _concat_reference(self, ds, idx, lo, hi, columns=None):
+        from repro.frame.table import concat
+
+        parts = [ds.read_time_range(i, lo, hi, columns) for i in idx]
+        return parts[0] if len(parts) == 1 else concat(parts)
+
+    def test_matches_per_shard_concat(self, ds):
+        idx = ds.select_time(3.0, 27.0)
+        merged = ds.read_time_range_merged(idx, 3.0, 27.0)
+        assert merged == self._concat_reference(ds, idx, 3.0, 27.0)
+
+    def test_projection_and_open_range(self, ds):
+        idx = ds.select_time(-np.inf, np.inf)
+        merged = ds.read_time_range_merged(idx, -np.inf, np.inf, ["v"])
+        assert merged.columns == ["v"]
+        assert merged == self._concat_reference(
+            ds, idx, -np.inf, np.inf, ["v"]
+        )
+
+    def test_empty_selection_has_schema(self, ds):
+        merged = ds.read_time_range_merged([], 5.0, 5.0)
+        assert merged.n_rows == 0
+        assert merged.columns == ["timestamp", "v"]
+
+    def test_compressed_shards_match(self, tmp_path):
+        rng = np.random.default_rng(5)
+        d = PartitionedDataset.create(tmp_path / "c", "c")
+        for k in range(4):
+            n = 200
+            t = Table({
+                "timestamp": np.arange(k * n, (k + 1) * n, dtype=np.float64),
+                "node": np.arange(n, dtype=np.int64) % 8,
+                "v": rng.normal(size=n),
+            })
+            d.append(t, float(k * n), float((k + 1) * n))
+        idx = d.select_time(150.0, 650.0)
+        merged = d.read_time_range_merged(idx, 150.0, 650.0, ["node", "v"])
+        assert merged == self._concat_reference(
+            d, idx, 150.0, 650.0, ["node", "v"]
+        )
+
+    def test_npz_falls_back_to_concat(self, tmp_path):
+        d = PartitionedDataset.create(tmp_path / "z", "z")
+        d.append(shard(0.0), 0.0, 10.0, fmt="npz")
+        d.append(shard(10.0), 10.0, 20.0, fmt="npz")
+        idx = d.select_time(2.0, 18.0)
+        merged = d.read_time_range_merged(idx, 2.0, 18.0)
+        assert merged == self._concat_reference(d, idx, 2.0, 18.0)

@@ -206,6 +206,47 @@ class TestTCP:
         assert remote["cache"] == "hit"
         assert remote["table"] == local["table"]
 
+    def test_large_results_encode_off_loop(self, dataset):
+        """Big result tables must be wire-encoded on the worker pool, not
+        the event loop — and byte-identically to the inline path."""
+        def serve_once(svc):
+            async def main():
+                server = TelemetryServer(svc)
+                host, port = await server.start()
+                out = {}
+
+                def client_side():
+                    with QueryClient(host, port) as c:
+                        out["resp"] = c.query(
+                            Query(t_begin=0.0, t_end=900.0, level="node")
+                        )
+
+                worker = threading.Thread(target=client_side)
+                worker.start()
+                while worker.is_alive():
+                    await asyncio.sleep(0.02)
+                worker.join()
+                await server.stop()
+                return out["resp"]
+
+            try:
+                return run(main())
+            finally:
+                svc.close()
+
+        offloaded = QueryService(dataset, ServiceConfig(
+            workers=2, encode_offload_bytes=1,
+        ))
+        inline = QueryService(dataset, ServiceConfig(
+            workers=2, encode_offload_bytes=1 << 30,
+        ))
+        a = serve_once(offloaded)
+        b = serve_once(inline)
+        assert offloaded.stats.encode_offloads > 0
+        assert inline.stats.encode_offloads == 0
+        assert a["status"] == b["status"] == "ok"
+        assert a["table"] == b["table"]
+
     def test_bad_json_line_is_error_not_disconnect(self, service):
         async def main():
             server = TelemetryServer(service)

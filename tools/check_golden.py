@@ -150,6 +150,7 @@ SPECS: dict[str, list] = {
     ],
     "query_service": [
         Exact("bit-identical to pipeline", r"service == pipeline: (\w+)"),
+        Exact("fragments bit-identical", r"fragments on == off: (\w+)"),
         # the single-flight and overload splits are decided synchronously
         # on the event loop: exact at every scale, on every box
         Exact("single-flight collapse",
@@ -158,7 +159,13 @@ SPECS: dict[str, list] = {
         Exact("overload split",
               r"overload: offered \d+ -> ok \d+ \(queued \d+\), "
               r"rejected \d+ \(capacity \d+, quota \d+\)"),
-        # throughput is box-dependent; assert the pin line + floor only
+        # throughput is box-dependent; assert the pin lines + floors only
+        Exact("cold-wave floor pinned",
+              r"cold wave @8 vs @1 throughput: [\d.]+x "
+              r"(\(floor [\d.]+x\))"),
+        Exact("overlap-sweep floor pinned",
+              r"overlap sweep with/without fragments: [\d.]+x "
+              r"(\(floor [\d.]+x\))"),
         Exact("speedup floor pinned",
               r"warm@8 vs cold@1 throughput: [\d.]+x "
               r"(\(must be >= \d+x\))"),
