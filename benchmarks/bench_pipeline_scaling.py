@@ -41,12 +41,14 @@ import time
 
 import numpy as np
 
-from benchutil import SCALE, anchor, emit
+from benchutil import (SCALE, TRACE_OVERHEAD_BUDGET, anchor, emit,
+                       trace_overhead_pct)
 from repro.core.aggregate import cluster_power_series
 from repro.core.coarsen import coarsen_telemetry
 from repro.core.report import render_table
 from repro.frame.table import Table, concat
 from repro.frame.window import window_aggregate
+from repro.obs import trace
 from repro.parallel import Executor, PartitionedDataset, grouped_aggregate, map_partitions
 from repro.pipeline import Pipeline, PipelineConfig
 
@@ -128,6 +130,7 @@ def test_pipeline_scaling(benchmark, twin_day, tmp_path):
         out = map_partitions(ds, fn, executor)
         return out, time.perf_counter() - t0
 
+    span_calls0 = trace.disabled_span_calls()
     out_serial, t_serial = run(Executor(backend="serial"),
                                _coarsen_shard_generic)
     out_sorted, t_sorted = run(Executor(backend="serial"))
@@ -162,6 +165,13 @@ def test_pipeline_scaling(benchmark, twin_day, tmp_path):
     t_unfused = time.perf_counter() - t0
     _assert_tables_identical(series_fused, series_single, "fused")
     _assert_tables_identical(series_unfused, series_single, "unfused")
+
+    # tracing-disabled overhead over the instrumented hot path: every
+    # span() the executor/pipeline took above was the no-op fast path;
+    # charge each at its measured per-call cost against the phase wall
+    hot_wall = t_serial + t_sorted + t_threads + t_procs + t_fused + t_unfused
+    span_calls = trace.disabled_span_calls() - span_calls0
+    overhead_pct = trace_overhead_pct(span_calls, hot_wall)
 
     # distributed group-by over the same shards
     agg = grouped_aggregate(ds, ["node"], "input_power",
@@ -203,7 +213,10 @@ def test_pipeline_scaling(benchmark, twin_day, tmp_path):
          main
          + "\nall variants bit-identical: yes"
          + f"\nprocesses/threads ratio: {proc_ratio:.2f}x"
-         f" (budget {PROC_OVERHEAD_BUDGET:.1f}x)\n\n"
+         f" (budget {PROC_OVERHEAD_BUDGET:.1f}x)"
+         + f"\ntracing-disabled overhead: {overhead_pct:.4f}% of hot path"
+         f" over {span_calls} span calls (budget"
+         f" {TRACE_OVERHEAD_BUDGET * 100:.0f}%)\n\n"
          + kernel)
 
     # the distributed aggregate covers every node
@@ -230,3 +243,9 @@ def test_pipeline_scaling(benchmark, twin_day, tmp_path):
            f"({t_single:.3f}s vs {t_fused:.3f}s)")
     anchor(t_fused <= t_unfused,
            f"fusion regression ({t_fused:.3f}s vs {t_unfused:.3f}s)")
+    # tracing-disabled must stay free — hard at every scale (the no-op
+    # span cost does not shrink with REPRO_BENCH_SCALE)
+    assert overhead_pct < TRACE_OVERHEAD_BUDGET * 100, (
+        f"tracing-disabled overhead {overhead_pct:.4f}% of the hot path "
+        f"exceeds the {TRACE_OVERHEAD_BUDGET:.0%} budget "
+        f"({span_calls} span calls over {hot_wall:.3f}s)")

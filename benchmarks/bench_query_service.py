@@ -52,8 +52,10 @@ import time
 
 import numpy as np
 
-from benchutil import SCALE, anchor, emit
+from benchutil import (SCALE, TRACE_OVERHEAD_BUDGET, anchor, emit,
+                       trace_overhead_pct)
 from repro.core.report import render_table
+from repro.obs import trace
 from repro.datasets import SimulationSpec, simulate_twin
 from repro.datasets.store import write_partitioned_series
 from repro.pipeline import Pipeline, PipelineConfig
@@ -264,11 +266,16 @@ def test_query_service(tmp_path):
                 executed, full, overload)
 
     try:
+        span_calls0 = trace.disabled_span_calls()
+        t0 = time.perf_counter()
         (rows, qps, sweep_ratio, sweep_identical, reused, computed,
          executed, full, overload) = asyncio.run(main())
+        hot_wall = time.perf_counter() - t0
+        span_calls = trace.disabled_span_calls() - span_calls0
     finally:
         service.close()
         service_off.close()
+    overhead_pct = trace_overhead_pct(span_calls, hot_wall)
 
     pipe = Pipeline(SPEC, PipelineConfig(backend="serial"))
     reference = pipe.telemetry_series(
@@ -303,7 +310,10 @@ def test_query_service(tmp_path):
         f"\noverlap sweep with/without fragments: {sweep_ratio:.1f}x"
         f" (floor {SWEEP_FLOOR:.1f}x)"
         f"\nwarm@8 vs cold@1 throughput: {warm_speedup:.1f}x"
-        f" (must be >= {WARM_FLOOR:.0f}x)\n"
+        f" (must be >= {WARM_FLOOR:.0f}x)"
+        f"\ntracing-disabled overhead: {overhead_pct:.4f}% of service"
+        f" phases over {span_calls} span calls (budget"
+        f" {TRACE_OVERHEAD_BUDGET * 100:.0f}%)\n"
     )
     emit("query_service", main_table + footer)
 
@@ -318,3 +328,9 @@ def test_query_service(tmp_path):
            f"overlap sweep leverage {sweep_ratio:.1f}x < {SWEEP_FLOOR}x")
     anchor(warm_speedup >= WARM_FLOOR,
            f"warm/cold throughput {warm_speedup:.1f}x < {WARM_FLOOR}x")
+    # tracing-disabled must stay free — hard at every scale (the no-op
+    # span cost does not shrink with REPRO_BENCH_SCALE)
+    assert overhead_pct < TRACE_OVERHEAD_BUDGET * 100, (
+        f"tracing-disabled overhead {overhead_pct:.4f}% of the service "
+        f"phases exceeds the {TRACE_OVERHEAD_BUDGET:.0%} budget "
+        f"({span_calls} span calls over {hot_wall:.3f}s)")

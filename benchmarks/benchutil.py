@@ -54,3 +54,33 @@ def anchor(condition: bool, label: str) -> None:
         raise AssertionError(f"paper anchor violated: {label}")
     _soft_failures.append(label)
     print(f"[scale {SCALE}] anchor skipped (too few samples): {label}")
+
+
+#: tracing-disabled overhead budget shared by the instrumented benches:
+#: the fraction of a hot phase's wall clock the no-op ``trace.span()``
+#: fast path may cost (asserted hard at every scale — the per-call cost
+#: does not shrink with REPRO_BENCH_SCALE)
+TRACE_OVERHEAD_BUDGET = 0.01
+
+
+def disabled_span_cost(n: int = 200_000) -> float:
+    """Measured per-call seconds of the tracing-disabled ``span()`` fast
+    path (one branch, a counter bump, and a shared no-op object)."""
+    import time
+
+    from repro.obs import trace
+
+    assert not trace.is_enabled(), "overhead probe needs tracing off"
+    t0 = time.perf_counter()
+    for _ in range(n):
+        trace.span("bench.overhead")
+    return (time.perf_counter() - t0) / n
+
+
+def trace_overhead_pct(span_calls: int, hot_wall_s: float) -> float:
+    """The tracing-disabled overhead over a measured hot phase, in
+    percent: (no-op span calls taken) x (measured per-call cost) /
+    (phase wall clock)."""
+    if hot_wall_s <= 0.0:
+        return 0.0
+    return span_calls * disabled_span_cost() / hot_wall_s * 100.0

@@ -25,6 +25,17 @@ Commands
 ``query``
     One-shot client for a running ``serve`` instance: send one query (or
     ``--stats``) and print the answer.
+``trace``
+    Render a trace file (``REPRO_TRACE=1`` while running any other
+    command) as an indented flame summary, or convert it to Chrome
+    ``trace_event`` JSON for Perfetto.
+
+Observability
+-------------
+Every command honours ``REPRO_TRACE`` (``1`` or a path: record spans to
+a JSONL trace file, wrapped in a ``cli.<command>`` root span) and
+``REPRO_PROFILE`` (``1`` or an interval in ms: sample the main thread's
+wall clock and print per-span hot sites to stderr on exit).
 """
 
 from __future__ import annotations
@@ -231,6 +242,8 @@ def cmd_serve(args) -> int:
         fragment_cache=False if args.no_fragment_cache else None,
         spill_dir=args.spill_dir,
         workers=args.workers,
+        slow_query_s=(args.slow_query_ms or 0.0) / 1e3,
+        slow_query_log=args.slow_query_log,
     ))
     server = TelemetryServer(service, args.host, args.port)
 
@@ -316,6 +329,31 @@ def cmd_query(args) -> int:
             f"{k}={v:.6g}" if isinstance(v, float) else f"{k}={v}"
             for k, v in row.items()
         ))
+    return 0
+
+
+def cmd_trace(args) -> int:
+    import json
+
+    from repro.obs.export import (TraceError, flame_summary, load_trace,
+                                  to_chrome)
+
+    try:
+        records = load_trace(args.file)
+    except (OSError, TraceError) as err:
+        print(f"error: {err}")
+        return 1
+    if args.chrome:
+        with open(args.chrome, "w") as fh:
+            json.dump(to_chrome(records), fh)
+        print(f"wrote {len(records)} trace events to {args.chrome} "
+              f"(open in Perfetto or chrome://tracing)")
+        return 0
+    try:
+        print(flame_summary(records, max_depth=args.depth))
+    except TraceError as err:
+        print(f"error: {err}")
+        return 1
     return 0
 
 
@@ -421,6 +459,13 @@ def main(argv: list[str] | None = None) -> int:
     p_srv.add_argument("--ready-file", default=None,
                        help="write 'host port' here once accepting "
                             "(for scripted startup)")
+    p_srv.add_argument("--slow-query-ms", type=float, default=None,
+                       help="with --slow-query-log: only log queries at "
+                            "least this slow (default 0 = log all)")
+    p_srv.add_argument("--slow-query-log", default=None,
+                       help="NDJSON file recording slow queries "
+                            "(fingerprint, coverage mix, fragment "
+                            "hits/misses, per-shard task timings)")
     p_srv.set_defaults(fn=cmd_serve)
 
     p_qry = sub.add_parser(
@@ -450,8 +495,46 @@ def main(argv: list[str] | None = None) -> int:
                        help="print server counters instead of querying")
     p_qry.set_defaults(fn=cmd_query)
 
+    p_trc = sub.add_parser(
+        "trace", help="render a REPRO_TRACE file as a flame summary"
+    )
+    p_trc.add_argument("file", help="JSONL trace file (REPRO_TRACE output)")
+    p_trc.add_argument("--depth", type=int, default=0,
+                       help="truncate the tree below this depth (0 = all)")
+    p_trc.add_argument("--chrome", default=None, metavar="OUT",
+                       help="write Chrome trace_event JSON to OUT instead "
+                            "of printing the summary")
+    p_trc.set_defaults(fn=cmd_trace)
+
     args = parser.parse_args(argv)
-    return args.fn(args)
+    return _run_command(args)
+
+
+def _run_command(args) -> int:
+    """Dispatch one CLI command under the env-driven observability hooks
+    (``REPRO_TRACE`` tracing, ``REPRO_PROFILE`` sampling profiler)."""
+    from repro.obs import trace
+    from repro.obs.profile import profile_from_env
+
+    trace_file = trace.enabled_from_env()
+    profiler = profile_from_env()
+    if trace_file is None and profiler is None:
+        return args.fn(args)
+    # a profiler without REPRO_TRACE still needs live spans for per-span
+    # sample attribution: enable sink-less (spans exist, nothing written)
+    trace.enable(trace_file)
+    try:
+        if profiler is not None:
+            profiler.start()
+        try:
+            with trace.span(f"cli.{args.command}"):
+                return args.fn(args)
+        finally:
+            if profiler is not None:
+                profiler.stop()
+                print(profiler.report(), file=sys.stderr)
+    finally:
+        trace.disable()  # flushes the span buffer to the file (if any)
 
 
 if __name__ == "__main__":

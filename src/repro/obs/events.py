@@ -1,0 +1,43 @@
+"""Structured NDJSON event log (one JSON object per line, append-only).
+
+The slow-query log in :mod:`repro.serve` writes through this: events
+buffer nothing and append atomically line-by-line, so a live service's
+log is tail-able and several processes can share one file.  Events
+always carry ``event`` (the type) and ``ts`` (epoch seconds); the
+caller adds the rest.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+__all__ = ["NdjsonLog"]
+
+
+class NdjsonLog:
+    """A thread-safe append-only NDJSON writer."""
+
+    def __init__(self, path: str):
+        self.path = str(path)
+        self._lock = threading.Lock()
+        self.written = 0
+
+    def emit(self, event: str, **fields) -> dict:
+        """Append one event line; returns the record written."""
+        record = {"event": event, "ts": time.time(), **fields}
+        line = json.dumps(record, separators=(",", ":"),
+                          default=_jsonable) + "\n"
+        with self._lock:
+            with open(self.path, "a") as fh:
+                fh.write(line)
+            self.written += 1
+        return record
+
+
+def _jsonable(obj):
+    try:
+        return float(obj)
+    except (TypeError, ValueError):
+        return str(obj)

@@ -1,0 +1,194 @@
+"""Trace loading, validation and rendering.
+
+Consumes the JSONL span files written by :mod:`repro.obs.trace`:
+reconstructs the span forest, checks its structural invariants (the
+same checks ``tools/check_trace.py`` runs in CI), renders a flame-style
+summary for ``python -m repro trace``, and converts to Chrome
+``trace_event`` JSON so a capture loads directly in Perfetto or
+``chrome://tracing``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from .trace import RECORD_FIELDS
+
+__all__ = ["load_trace", "validate_spans", "build_forest",
+           "flame_summary", "to_chrome", "TraceError"]
+
+#: wall-clock slack allowed when checking child-inside-parent intervals:
+#: ``ts`` comes from ``time.time()`` while ``dur`` is monotonic, and two
+#: processes' wall clocks can disagree by a few scheduler ticks
+INTERVAL_SLACK_S = 0.050
+
+
+class TraceError(ValueError):
+    """A trace file violates the span schema or forest invariants."""
+
+
+def load_trace(path: str) -> list[dict]:
+    """Parse a JSONL trace file into span records (schema-checked)."""
+    records = []
+    with open(path) as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TraceError(f"{path}:{lineno}: not JSON: {exc}") from None
+            _check_record(rec, f"{path}:{lineno}")
+            records.append(rec)
+    return records
+
+
+def _check_record(rec: dict, where: str) -> None:
+    if not isinstance(rec, dict):
+        raise TraceError(f"{where}: span record must be an object")
+    missing = [f for f in RECORD_FIELDS if f not in rec]
+    if missing:
+        raise TraceError(f"{where}: missing fields {missing}")
+    for f in ("name", "trace", "span"):
+        if not isinstance(rec[f], str) or not rec[f]:
+            raise TraceError(f"{where}: {f!r} must be a non-empty string")
+    if rec["parent"] is not None and not isinstance(rec["parent"], str):
+        raise TraceError(f"{where}: 'parent' must be a string or null")
+    for f in ("ts", "dur"):
+        if not isinstance(rec[f], (int, float)):
+            raise TraceError(f"{where}: {f!r} must be a number")
+    if rec["dur"] < 0:
+        raise TraceError(f"{where}: negative duration")
+    for f in ("pid", "tid"):
+        if not isinstance(rec[f], int):
+            raise TraceError(f"{where}: {f!r} must be an integer")
+    if not isinstance(rec["attrs"], dict):
+        raise TraceError(f"{where}: 'attrs' must be an object")
+
+
+@dataclass
+class SpanNode:
+    """One span in the reconstructed forest."""
+
+    record: dict
+    children: list["SpanNode"] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return self.record["name"]
+
+    @property
+    def dur(self) -> float:
+        return self.record["dur"]
+
+    def self_time(self) -> float:
+        return max(0.0, self.dur - sum(c.dur for c in self.children))
+
+
+def build_forest(records: list[dict]) -> list[SpanNode]:
+    """Reconstruct the span forest, enforcing its invariants: unique
+    ids, no orphans (every parent id resolves), consistent trace ids
+    down each tree, and children inside their parent's wall interval
+    (with cross-clock slack)."""
+    nodes: dict[str, SpanNode] = {}
+    for rec in records:
+        sid = rec["span"]
+        if sid in nodes:
+            raise TraceError(f"duplicate span id {sid!r}")
+        nodes[sid] = SpanNode(rec)
+    roots = []
+    for node in nodes.values():
+        pid = node.record["parent"]
+        if pid is None:
+            roots.append(node)
+            continue
+        parent = nodes.get(pid)
+        if parent is None:
+            raise TraceError(
+                f"orphan span {node.record['span']!r} "
+                f"({node.name!r}): parent {pid!r} not in trace")
+        parent.children.append(node)
+    for node in nodes.values():
+        for child in node.children:
+            if child.record["trace"] != node.record["trace"]:
+                raise TraceError(
+                    f"span {child.record['span']!r} trace id differs "
+                    f"from its parent's")
+            p0 = node.record["ts"] - INTERVAL_SLACK_S
+            p1 = node.record["ts"] + node.dur + INTERVAL_SLACK_S
+            c0, c1 = child.record["ts"], child.record["ts"] + child.dur
+            if c0 < p0 or c1 > p1:
+                raise TraceError(
+                    f"span {child.name!r} [{c0:.6f}, {c1:.6f}] outside "
+                    f"parent {node.name!r} [{p0:.6f}, {p1:.6f}]")
+        node.children.sort(key=lambda n: n.record["ts"])
+    roots.sort(key=lambda n: n.record["ts"])
+    return roots
+
+
+def validate_spans(records: list[dict]) -> list[SpanNode]:
+    """Schema + forest validation in one call; returns the forest."""
+    for i, rec in enumerate(records):
+        _check_record(rec, f"record {i}")
+    return build_forest(records)
+
+
+def flame_summary(records: list[dict], max_depth: int = 0) -> str:
+    """An indented flame-style text rendering of the trace.
+
+    Sibling spans with the same name collapse into one line carrying a
+    call count and total/self durations, so a 64-shard fan-out reads as
+    one ``serve.task ×64`` line rather than 64 rows.  ``max_depth=0``
+    means unlimited.
+    """
+    roots = build_forest(records)
+    total = sum(r.dur for r in roots)
+    lines = [f"{len(records)} spans, {len(roots)} roots, "
+             f"total {total * 1e3:.1f} ms"]
+
+    def walk(siblings: list[SpanNode], depth: int) -> None:
+        if max_depth and depth >= max_depth:
+            return
+        groups: dict[str, list[SpanNode]] = {}
+        for node in siblings:
+            groups.setdefault(node.name, []).append(node)
+        order = sorted(groups.items(),
+                       key=lambda kv: -sum(n.dur for n in kv[1]))
+        for name, nodes in order:
+            dur = sum(n.dur for n in nodes)
+            self_t = sum(n.self_time() for n in nodes)
+            count = f" ×{len(nodes)}" if len(nodes) > 1 else ""
+            pct = f" {dur / total * 100:5.1f}%" if total > 0 else ""
+            lines.append(
+                f"{'  ' * depth}{name}{count}  "
+                f"{dur * 1e3:9.1f} ms total  "
+                f"{self_t * 1e3:9.1f} ms self{pct}")
+            walk([c for n in nodes for c in n.children], depth + 1)
+
+    walk(roots, 0)
+    return "\n".join(lines)
+
+
+def to_chrome(records: list[dict]) -> dict:
+    """Convert span records to the Chrome ``trace_event`` JSON format
+    (complete events, ``ph: "X"``, microsecond timestamps) — loads in
+    Perfetto and ``chrome://tracing``."""
+    events = []
+    for rec in records:
+        events.append({
+            "name": rec["name"],
+            "ph": "X",
+            "ts": rec["ts"] * 1e6,
+            "dur": rec["dur"] * 1e6,
+            "pid": rec["pid"],
+            "tid": rec["tid"],
+            "cat": rec["name"].split(".", 1)[0],
+            "args": dict(rec["attrs"],
+                         span=rec["span"],
+                         parent=rec["parent"],
+                         trace=rec["trace"]),
+        })
+    events.sort(key=lambda e: e["ts"])
+    return {"traceEvents": events, "displayTimeUnit": "ms"}

@@ -18,9 +18,16 @@ from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Any
 
 from repro.frame.table import Table
+from repro.obs import trace
 from repro.parallel import shm as _shm
 
 _BACKENDS = ("serial", "threads", "processes")
+
+#: first element of the tuple a traced worker call returns in place of
+#: its bare result; the extra slots carry the worker-side span records
+#: home.  It is a plain tuple so :func:`repro.parallel.shm.wrap_result`'s
+#: tuple recursion ships any inner Table through shared memory unchanged.
+_OBS_RESULT = "repro.obs.result.v1"
 
 
 class NotPicklableError(TypeError):
@@ -96,41 +103,109 @@ class Executor:
             + ")"
         )
 
-    def map(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> list[Any]:
+    def map(
+        self,
+        fn: Callable[[Any], Any],
+        items: Iterable[Any],
+        label: str | None = None,
+    ) -> list[Any]:
         """Apply ``fn`` to each item, preserving input order.
 
         Exceptions raised by ``fn`` propagate to the caller (fail-fast):
         a failed partition must abort the analysis rather than silently
-        produce a truncated year.
+        produce a truncated year.  Worker failures carry the task's
+        context — ``label`` (the pipeline stage), item index, and a
+        short item description — as an exception note, so a dead shard
+        is attributable without re-running.
+
+        With tracing enabled, the fan-out is one ``executor.map`` span
+        and each item an ``executor.task`` child whose sibling sequence
+        is the item *index* — ids stay deterministic however pool
+        workers interleave, on threads and on fork/spawn processes.
         """
         items = list(items)
-        if self.backend == "serial" or len(items) <= 1:
-            return [fn(it) for it in items]
-        if self.backend == "threads":
-            with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
-                return list(pool.map(fn, items))
-        return self._map_processes(fn, items)
+        if not trace.is_enabled():
+            return self._dispatch(fn, items, label, None)
+        attrs: dict[str, Any] = {"backend": self._effective_backend(items),
+                                 "items": len(items)}
+        if label is not None:
+            attrs["label"] = label
+        with trace.span("executor.map", **attrs) as sp:
+            return self._dispatch(fn, items, label, sp.context)
 
     def starmap(
-        self, fn: Callable[..., Any], arg_tuples: Sequence[tuple]
+        self,
+        fn: Callable[..., Any],
+        arg_tuples: Sequence[tuple],
+        label: str | None = None,
     ) -> list[Any]:
         """Like :meth:`map` but unpacks each tuple into positional args."""
-        return self.map(_StarCall(fn), list(arg_tuples))
+        return self.map(_StarCall(fn), list(arg_tuples), label=label)
+
+    def _effective_backend(self, items: list[Any]) -> str:
+        if self.backend == "serial" or len(items) <= 1:
+            return "serial"
+        return self.backend
+
+    def _dispatch(
+        self,
+        fn: Callable[[Any], Any],
+        items: list[Any],
+        label: str | None,
+        span_ctx: trace.SpanContext | None,
+    ) -> list[Any]:
+        if self._effective_backend(items) == "serial":
+            return self._map_serial(fn, items, label, span_ctx)
+        call = _ObsCall(fn, span_ctx, label)
+        if self.backend == "threads":
+            with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+                results = list(pool.map(call, enumerate(items)))
+            return [_collect(r) for r in results]
+        return self._map_processes(fn, call, items)
+
+    def _map_serial(
+        self,
+        fn: Callable[[Any], Any],
+        items: list[Any],
+        label: str | None,
+        span_ctx: trace.SpanContext | None,
+    ) -> list[Any]:
+        out = []
+        for i, item in enumerate(items):
+            try:
+                # in-process: spans nest through the contextvar, but pin
+                # the sibling seq to the index for parity with the pools
+                with trace.span("executor.task", _seq=i, index=i):
+                    out.append(fn(item))
+            except Exception as exc:
+                _annotate_task_failure(exc, label, i, item)
+                raise
+        return out
 
     # ---------------- process backend ----------------
 
-    def _map_processes(self, fn: Callable[[Any], Any], items: list[Any]) -> list[Any]:
+    def _map_processes(
+        self,
+        fn: Callable[[Any], Any],
+        call: "_ObsCall",
+        items: list[Any],
+    ) -> list[Any]:
         _check_picklable(fn)
         ctx = multiprocessing.get_context(self.mp_context)
         owned: list = []  # segments this process created for the items
         try:
+            pairs: list[Any] = list(enumerate(items))
             if self.use_shm:
-                items = [_shm.wrap_item(it, owned) for it in items]
-                fn = _ShmCall(fn)
+                # wrap_item recurses tuples, so the (index, item) pair
+                # passes through with only the item's Tables shm-shipped
+                pairs = [_shm.wrap_item(p, owned) for p in pairs]
+                call = _ObsCall(_ShmCall(call.fn), call.span_ctx, call.label)
             with ProcessPoolExecutor(max_workers=self.max_workers, mp_context=ctx) as pool:
-                results = list(pool.map(fn, items))
+                results = list(pool.map(call, pairs))
             if self.use_shm:
-                results = [_shm.unwrap_result(r) for r in results]
+                results = [_collect(r, unwrap=True) for r in results]
+            else:
+                results = [_collect(r) for r in results]
             return results
         finally:
             for seg in owned:
@@ -153,6 +228,91 @@ def _check_picklable(fn: Callable[[Any], Any]) -> None:
             f"(or a picklable callable class) instead of a lambda/closure, "
             f"or switch to backend='threads'"
         ) from exc
+
+
+class _ObsCall:
+    """Per-task adapter shared by the thread and process pools.
+
+    Receives ``(index, item)`` pairs.  Always: a worker exception gains
+    a note naming the stage label, item index, and a short item
+    description before it re-raises (failures stay attributable without
+    a re-run).  When the parent had tracing on (``span_ctx`` set): the
+    task runs inside an ``executor.task`` span whose parent is the
+    shipped context and whose sibling seq is the item index — ids are
+    identical under fork, spawn, threads, and any interleaving — and the
+    call returns ``(_OBS_RESULT, result, spans)`` so the parent can
+    merge the worker-side records in task order.
+    """
+
+    __slots__ = ("fn", "span_ctx", "label")
+
+    def __init__(self, fn: Callable[[Any], Any],
+                 span_ctx: trace.SpanContext | None,
+                 label: str | None):
+        self.fn = fn
+        self.span_ctx = span_ctx
+        self.label = label
+
+    def __call__(self, pair: tuple) -> Any:
+        index, item = pair
+        try:
+            if self.span_ctx is None:
+                return self.fn(item)
+            if not trace.is_enabled():
+                # spawn-context worker: enable span creation sink-less;
+                # records only travel home via capture()
+                trace.enable(None)
+            attrs = {"index": index}
+            if self.label is not None:
+                attrs["label"] = self.label
+            with trace.capture() as spans:
+                with trace.span("executor.task", _parent=self.span_ctx,
+                                _seq=index, **attrs):
+                    result = self.fn(item)
+            return (_OBS_RESULT, result, spans)
+        except Exception as exc:
+            _annotate_task_failure(exc, self.label, index, item)
+            raise
+
+
+def _collect(result: Any, unwrap: bool = False) -> Any:
+    """Parent-side completion: merge any worker span records riding the
+    result, then (for shm transports) unwrap the payload."""
+    if (isinstance(result, tuple) and len(result) == 3
+            and result[0] == _OBS_RESULT):
+        trace.merge_spans(result[2])
+        result = result[1]
+    if unwrap:
+        result = _shm.unwrap_result(result)
+    return result
+
+
+def _annotate_task_failure(exc: Exception, label: str | None,
+                           index: int, item: Any) -> None:
+    """Attach the failing task's context to the exception as a note
+    (survives pickling back from a process worker)."""
+    parts = [f"task {index}"]
+    if label is not None:
+        parts.append(f"stage {label!r}")
+    parts.append(f"item {_describe_item(item)}")
+    note = "repro.parallel task context: " + ", ".join(parts)
+    if hasattr(exc, "add_note"):
+        notes = getattr(exc, "__notes__", ())
+        if note not in notes:  # serial path annotates at the raise site
+            exc.add_note(note)
+
+
+def _describe_item(item: Any) -> str:
+    """A short, safe description of a task item for failure notes —
+    scalar tuples (chunk time ranges, shard indices) show verbatim,
+    bulky payloads show as their type."""
+    if isinstance(item, tuple) and all(
+            isinstance(el, (int, float, str, type(None))) for el in item):
+        text = repr(item)
+        return text if len(text) <= 120 else text[:117] + "..."
+    if isinstance(item, (int, float, str)):
+        return repr(item)
+    return f"<{type(item).__name__}>"
 
 
 class _StarCall:

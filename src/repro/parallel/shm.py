@@ -27,6 +27,11 @@ reads from :mod:`repro.frame.columnar`) skip shared memory entirely: they
 ship as an :class:`MmapTableRef` — file path + per-column byte offsets —
 and the worker re-maps the same file, so the payload crosses **no** process
 boundary in either direction; the kernel page cache is the transport.
+
+Parent-side transport decisions are counted in the global metrics
+registry: ``shm.items{transport=mmap|segment|pickle}`` per wrapped table,
+``shm.bytes_out`` for segment payloads shipped to workers and
+``shm.bytes_in`` for segment results copied back.
 """
 
 from __future__ import annotations
@@ -38,6 +43,7 @@ from multiprocessing import resource_tracker, shared_memory
 import numpy as np
 
 from repro.frame.table import Table
+from repro.obs.metrics import REGISTRY
 
 __all__ = [
     "SHM_MIN_BYTES",
@@ -271,11 +277,15 @@ def wrap_item(item, owned: list) -> object:
     if isinstance(item, Table):
         ref = mmap_ref(item)
         if ref is not None:
+            REGISTRY.counter("shm.items", transport="mmap").inc()
             return ref
         if item.nbytes() >= SHM_MIN_BYTES:
             shm, sref = share_table(item)
             owned.append(shm)
+            REGISTRY.counter("shm.items", transport="segment").inc()
+            REGISTRY.counter("shm.bytes_out").inc(sref.nbytes)
             return sref
+        REGISTRY.counter("shm.items", transport="pickle").inc()
         return item
     if isinstance(item, tuple):
         return tuple(wrap_item(el, owned) for el in item)
@@ -329,6 +339,8 @@ def wrap_result(result) -> object:
 def unwrap_result(result) -> object:
     """Parent-side inverse of :func:`wrap_result`: copy out + unlink."""
     if isinstance(result, SharedTableRef):
+        REGISTRY.counter("shm.result_segments").inc()
+        REGISTRY.counter("shm.bytes_in").inc(result.nbytes)
         return materialize(result, unlink=True)
     if isinstance(result, tuple):
         return tuple(unwrap_result(el) for el in result)

@@ -26,6 +26,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.frame.table import Table, concat
+from repro.obs import trace
 from repro.parallel.executor import Executor
 from repro.parallel.graph import TaskGraph
 from repro.pipeline.cache import ArtifactCache, cache_key
@@ -282,7 +283,8 @@ class Pipeline:
             from repro.datasets.generate import simulate_twin
 
             t0 = _time.perf_counter()
-            self._twin = simulate_twin(self.spec)
+            with trace.span("pipeline.simulate"):
+                self._twin = simulate_twin(self.spec)
             self.stats.record(
                 "simulate",
                 wall_s=_time.perf_counter() - t0,
@@ -306,44 +308,49 @@ class Pipeline:
         the content-addressed keys, parallel to ``items``.  Results come
         back in item order regardless of hit/miss interleaving.
         """
-        results: list[Table | None] = [None] * len(items)
-        hits = 0
-        if self.cache is not None and keys is not None:
-            t0 = _time.perf_counter()
-            for idx, key in enumerate(keys):
-                got = self.cache.get(key)
-                if got is not None:
-                    results[idx] = got
-                    hits += 1
-            lookup_s = _time.perf_counter() - t0
-        else:
-            lookup_s = 0.0
+        with trace.span("pipeline.stage", stage=stage,
+                        items=len(items)) as sp:
+            results: list[Table | None] = [None] * len(items)
+            hits = 0
+            if self.cache is not None and keys is not None:
+                t0 = _time.perf_counter()
+                for idx, key in enumerate(keys):
+                    got = self.cache.get(key)
+                    if got is not None:
+                        results[idx] = got
+                        hits += 1
+                lookup_s = _time.perf_counter() - t0
+            else:
+                lookup_s = 0.0
 
-        miss_idx = [i for i, r in enumerate(results) if r is None]
-        wall = lookup_s
-        bytes_out = 0
-        if miss_idx:
-            timed = _Timed(task_factory())
-            outs = self.executor.map(timed, [items[i] for i in miss_idx])
-            for i, (elapsed, table) in zip(miss_idx, outs):
-                results[i] = table
-                wall += elapsed
-                if self.cache is not None and keys is not None:
-                    bytes_out += self.cache.put(keys[i], table)
+            miss_idx = [i for i, r in enumerate(results) if r is None]
+            wall = lookup_s
+            bytes_out = 0
+            if miss_idx:
+                timed = _Timed(task_factory())
+                outs = self.executor.map(
+                    timed, [items[i] for i in miss_idx], label=stage
+                )
+                for i, (elapsed, table) in zip(miss_idx, outs):
+                    results[i] = table
+                    wall += elapsed
+                    if self.cache is not None and keys is not None:
+                        bytes_out += self.cache.put(keys[i], table)
 
-        cached_run = self.cache is not None and keys is not None
-        tables: list[Table] = results  # type: ignore[assignment]
-        self.stats.record(
-            stage,
-            wall_s=wall,
-            calls=len(miss_idx),
-            rows_in=rows_in,
-            rows_out=sum(t.n_rows for t in tables),
-            bytes_out=bytes_out,
-            cache_hits=hits,
-            cache_misses=len(miss_idx) if cached_run else 0,
-        )
-        return tables
+            cached_run = self.cache is not None and keys is not None
+            sp.set(cache_hits=hits, misses=len(miss_idx))
+            tables: list[Table] = results  # type: ignore[assignment]
+            self.stats.record(
+                stage,
+                wall_s=wall,
+                calls=len(miss_idx),
+                rows_in=rows_in,
+                rows_out=sum(t.n_rows for t in tables),
+                bytes_out=bytes_out,
+                cache_hits=hits,
+                cache_misses=len(miss_idx) if cached_run else 0,
+            )
+            return tables
 
     def _spans(self, n_samples: int, dt: float) -> list[tuple[int, int]]:
         """Per-window global sample-index spans covering ``[0, n_samples)``."""
@@ -644,7 +651,12 @@ class Pipeline:
         sub_wall = [0.0, 0.0, 0.0]  # read, coarsen, aggregate
         coarse_rows = 0
         if miss_idx:
-            outs = self.executor.map(task, [items[i] for i in miss_idx])
+            with trace.span("pipeline.stage", stage="fused",
+                            items=len(items), cache_hits=hits,
+                            misses=len(miss_idx)):
+                outs = self.executor.map(
+                    task, [items[i] for i in miss_idx], label="fused"
+                )
             for i, (series, timings, n_coarse) in zip(miss_idx, outs):
                 results[i] = series
                 wall += sum(timings)
@@ -798,6 +810,7 @@ class Pipeline:
             deps=["cluster_power"],
         )
         t0 = _time.perf_counter()
-        graph.run(Executor(backend="serial"))
+        with trace.span("pipeline.export"):
+            graph.run(Executor(backend="serial"))
         self.stats.record("write", wall_s=_time.perf_counter() - t0, calls=3)
         return dataset_inventory(twin, root)

@@ -5,28 +5,63 @@ Every pipeline stage (a fan-out of chunk tasks through the
 bytes produced, and artifact-cache hit/miss counts.  The counters answer the
 operational questions the paper's own pipeline had to answer: where does the
 year-scale run spend its time, and how much work does a warm cache skip?
+
+Since the ``repro.obs`` re-base the numbers live in a per-run
+:class:`~repro.obs.metrics.MetricsRegistry` (one per
+:class:`PipelineStats`, so concurrent pipelines never share counters);
+:class:`StageStats` is a typed view whose attributes read and write
+registry counters labeled by stage name.  The public surface —
+``record()``, attribute access, ``report()``, ``merge()`` — is unchanged
+and pinned by ``tests/obs/test_stats_compat.py``.
 """
 
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
 
 from repro.core.report import render_table
+from repro.obs.metrics import MetricsRegistry
 
 
-@dataclass
+class _MetricField:
+    """A data descriptor mapping ``stage.<attr>`` onto the registry
+    counter ``pipeline.<attr>{stage=<name>}`` — existing call sites keep
+    mutating plain attributes (``st.calls += 2``) unchanged."""
+
+    __slots__ = ("attr",)
+
+    def __set_name__(self, owner, attr):
+        self.attr = attr
+
+    def __get__(self, obj, objtype=None):
+        if obj is None:
+            return self
+        return obj._metric(self.attr).value
+
+    def __set__(self, obj, value):
+        obj._metric(self.attr).value = value
+
+
 class StageStats:
-    """Counters for one named pipeline stage."""
+    """Counters for one named pipeline stage (a registry view)."""
 
-    name: str
-    calls: int = 0
-    wall_s: float = 0.0
-    rows_in: int = 0
-    rows_out: int = 0
-    bytes_out: int = 0
-    cache_hits: int = 0
-    cache_misses: int = 0
+    FIELDS = ("calls", "wall_s", "rows_in", "rows_out", "bytes_out",
+              "cache_hits", "cache_misses")
+
+    calls = _MetricField()
+    wall_s = _MetricField()
+    rows_in = _MetricField()
+    rows_out = _MetricField()
+    bytes_out = _MetricField()
+    cache_hits = _MetricField()
+    cache_misses = _MetricField()
+
+    def __init__(self, name: str, registry: MetricsRegistry | None = None):
+        self.name = name
+        self._registry = registry if registry is not None else MetricsRegistry()
+
+    def _metric(self, attr: str):
+        return self._registry.counter(f"pipeline.{attr}", stage=self.name)
 
     @property
     def cache_hit_ratio(self) -> float:
@@ -34,22 +69,25 @@ class StageStats:
         total = self.cache_hits + self.cache_misses
         return self.cache_hits / total if total else 0.0
 
+    def __repr__(self) -> str:
+        fields = ", ".join(f"{k}={getattr(self, k)!r}" for k in self.FIELDS)
+        return f"StageStats(name={self.name!r}, {fields})"
 
-@dataclass
+
 class PipelineStats:
     """Aggregated per-stage counters for one pipeline run."""
 
-    stages: dict[str, StageStats] = field(default_factory=dict)
-    _lock: threading.Lock = field(
-        default_factory=threading.Lock, repr=False, compare=False
-    )
+    def __init__(self):
+        self.registry = MetricsRegistry()
+        self.stages: dict[str, StageStats] = {}
+        self._lock = threading.Lock()
 
     def stage(self, name: str) -> StageStats:
         """The (auto-created) stats record for ``name``."""
         with self._lock:
             st = self.stages.get(name)
             if st is None:
-                st = self.stages[name] = StageStats(name)
+                st = self.stages[name] = StageStats(name, self.registry)
             return st
 
     def record(

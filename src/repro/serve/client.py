@@ -11,6 +11,7 @@ from __future__ import annotations
 import json
 import socket
 
+from repro.obs import trace
 from repro.serve.query import Query
 from repro.serve.server import table_from_wire
 
@@ -63,12 +64,23 @@ class QueryClient:
 
     def query(self, query: Query | dict, decode: bool = True) -> dict:
         """Run one query; with ``decode`` the response's ``table`` is a
-        rebuilt :class:`~repro.frame.table.Table`."""
+        rebuilt :class:`~repro.frame.table.Table`.
+
+        With tracing enabled, the round trip is a ``client.query`` span
+        whose context rides the request envelope — the server re-parents
+        its whole handling under it, so a shared trace file captures the
+        cross-process request tree.
+        """
         if isinstance(query, Query):
             query = query.to_dict()
-        resp = self.request(
-            {"op": "query", "query": query, "tenant": self.tenant}
-        )
+        payload = {"op": "query", "query": query, "tenant": self.tenant}
+        with trace.span("client.query", tenant=self.tenant) as sp:
+            ctx = sp.context
+            if ctx is not None:
+                payload["trace"] = ctx.to_dict()
+            resp = self.request(payload)
+            sp.set(status=resp.get("status"),
+                   cache=resp.get("cache"), rows=resp.get("rows"))
         if decode and isinstance(resp.get("table"), dict):
             resp["table"] = table_from_wire(resp["table"])
         return resp

@@ -43,6 +43,7 @@ import numpy as np
 from repro.config import SUMMIT
 from repro.frame.table import Table, concat
 from repro.frame.window import window_index
+from repro.obs import trace
 from repro.parallel.partition import PartitionedDataset
 from repro.pipeline.cache import cache_key
 from repro.serve.query import Query, QueryError
@@ -213,12 +214,13 @@ class QueryPlan:
     def run_fragment(self, index: int) -> Table:
         """Shard ``index``'s full fragment: the kernel chain over every
         row (the unit :class:`~repro.serve.cache.FragmentCache` stores)."""
-        return self.run_shard_table(
-            self.dataset.read_time_range(
-                index, -np.inf, np.inf,
-                columns=self.projection, time=self.query.time,
+        with trace.span("serve.fragment.compute", shard=index):
+            return self.run_shard_table(
+                self.dataset.read_time_range(
+                    index, -np.inf, np.inf,
+                    columns=self.projection, time=self.query.time,
+                )
             )
-        )
 
     def slice_fragment(self, fragment: Table, lo: float, hi: float) -> Table:
         """Restrict a full fragment to window starts in ``[lo, hi)``.
@@ -354,16 +356,19 @@ def plan_query(
     t_lo = -np.inf if query.t_begin is None else query.t_begin
     t_hi = np.inf if query.t_end is None else query.t_end
 
-    shards = dataset.select_time(t_lo, t_hi, time=query.time)
-    node_ids = query.node_selection(nodes_per_cabinet)
-    node_array = None
-    if node_ids is not None:
-        node_array = np.asarray(node_ids, dtype=np.int64)
-        keep = set(
-            dataset.select_where(query.by, float(node_ids[0]),
-                                 float(node_ids[-1]))
-        )
-        shards = [i for i in shards if i in keep]
+    with trace.span("serve.plan_query", level=query.level) as sp:
+        shards = dataset.select_time(t_lo, t_hi, time=query.time)
+        node_ids = query.node_selection(nodes_per_cabinet)
+        node_array = None
+        if node_ids is not None:
+            node_array = np.asarray(node_ids, dtype=np.int64)
+            keep = set(
+                dataset.select_where(query.by, float(node_ids[0]),
+                                     float(node_ids[-1]))
+            )
+            shards = [i for i in shards if i in keep]
+        sp.set(shards=len(shards),
+               pruned=dataset.n_partitions - len(shards))
 
     return QueryPlan(
         query=query,

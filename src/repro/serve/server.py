@@ -29,6 +29,8 @@ import numpy as np
 
 from repro.config import SUMMIT
 from repro.frame.table import Table
+from repro.obs import trace
+from repro.obs.events import NdjsonLog
 from repro.parallel.partition import PartitionedDataset
 from repro.pipeline.cache import ArtifactCache
 from repro.serve.cache import FragmentCache, ResultCache, SingleFlight
@@ -80,6 +82,11 @@ class ServiceConfig:
     cache only changes how much shard work overlapping queries share.
     ``encode_offload_bytes`` is the result-table size at which the TCP
     layer moves NDJSON encoding off the event loop.
+
+    ``slow_query_log`` names an NDJSON file; every query whose total
+    latency reaches ``slow_query_s`` (0.0 = log all) appends one line
+    carrying its fingerprint, cache outcome, coverage mix, fragment
+    hit/miss breakdown, and per-shard task timings.
     """
 
     max_inflight: int = 8
@@ -92,6 +99,8 @@ class ServiceConfig:
     spill_dir: str | os.PathLike | None = None
     workers: int | None = None
     nodes_per_cabinet: int = SUMMIT.nodes_per_cabinet
+    slow_query_s: float = 0.0
+    slow_query_log: str | os.PathLike | None = None
 
 
 def fragment_cache_enabled(default: bool = True) -> bool:
@@ -159,9 +168,33 @@ class QueryService:
         self._pool = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="serve"
         )
+        self.slow_log = (
+            NdjsonLog(self.config.slow_query_log)
+            if self.config.slow_query_log is not None
+            else None
+        )
 
     def close(self) -> None:
         self._pool.shutdown(wait=True)
+
+    def _in_pool(self, name: str, fn, *args, **attrs):
+        """Run ``fn(*args)`` on the worker pool inside a span.
+
+        ``loop.run_in_executor`` does not carry contextvars onto pool
+        threads, so the active span's context is captured here and the
+        pool-side span re-parents under it explicitly.  With tracing off
+        this degrades to a bare ``run_in_executor``.
+        """
+        loop = asyncio.get_running_loop()
+        ctx = trace.current_context()
+        if ctx is None:
+            return loop.run_in_executor(self._pool, fn, *args)
+
+        def run():
+            with trace.activated(ctx, name, **attrs):
+                return fn(*args)
+
+        return loop.run_in_executor(self._pool, run)
 
     # ---------------- the query path ----------------
 
@@ -173,6 +206,10 @@ class QueryService:
         :class:`~repro.frame.table.Table` (the TCP layer converts it with
         :func:`table_to_wire` before serialization).
         """
+        with trace.span("serve.query", tenant=tenant) as qsp:
+            return await self._query(query, tenant, qsp)
+
+    async def _query(self, query: Query | dict, tenant: str, qsp) -> dict:
         t0 = time.perf_counter()
         st = self.admission.tenant(tenant)
         st.queries += 1
@@ -184,10 +221,13 @@ class QueryService:
         except QueryError as err:
             st.errors += 1
             self.stats.record_error()
+            qsp.set(status="error")
             return {"status": "error", "error": str(err)}
+        qsp.set(level=query.level, fingerprint=key)
 
         cached = self.cache.get(key)
         if cached is not None:
+            qsp.set(cache="hit")
             return self._ok(query, tenant, cached, "hit", t0, 0.0)
 
         if not self.flight.leader(key):
@@ -202,39 +242,47 @@ class QueryService:
                 st.errors += 1
                 self.stats.record_error()
                 return {"status": "error", "error": str(err)}
+            qsp.set(cache="shared")
             return self._ok(query, tenant, table, "shared", t0, 0.0, meta)
 
         # leader: the flight is registered, so admission's verdict (and
         # any execution failure) propagates to every follower
         try:
-            queued_s = await self.admission.admit(tenant)
+            with trace.span("serve.admit"):
+                queued_s = await self.admission.admit(tenant)
         except RejectedError as err:
             self.flight.fail(key, err)
             self.stats.record_rejected()
+            qsp.set(status="rejected")
             return {"status": "rejected", "reason": err.reason}
         try:
             e0 = time.perf_counter()
-            plan = plan_query(
-                query, self.dataset,
-                nodes_per_cabinet=self.config.nodes_per_cabinet,
-            )
+            with trace.span("serve.plan") as psp:
+                plan = plan_query(
+                    query, self.dataset,
+                    nodes_per_cabinet=self.config.nodes_per_cabinet,
+                )
+                psp.set(shards=len(plan.shards),
+                        pruned=plan.n_shards_pruned)
             frag = {"hits": 0, "shared": 0, "misses": 0,
                     "full": 0, "aligned": 0, "partial": 0}
-            loop = asyncio.get_running_loop()
+            task_log: list[dict] = []
             # fan the plan's tasks out concurrently; gather preserves task
             # order, so the merge is deterministic regardless of which
             # shard finishes first
             parts = await asyncio.gather(
-                *(self._run_task(plan, t, frag) for t in plan.tasks())
+                *(self._run_task(plan, t, frag, task_log)
+                  for t in plan.tasks())
             )
-            table = await loop.run_in_executor(
-                self._pool, plan.finalize, list(parts)
+            table = await self._in_pool(
+                "serve.merge", plan.finalize, list(parts)
             )
             exec_s = time.perf_counter() - e0
         except QueryError as err:
             self.flight.fail(key, err)
             st.errors += 1
             self.stats.record_error()
+            qsp.set(status="error")
             return {"status": "error", "error": str(err)}
         except BaseException as err:
             self.flight.fail(key, err)
@@ -246,13 +294,16 @@ class QueryService:
             "pruned": plan.n_shards_pruned,
             "exec_s": exec_s,
             "fragments": frag,
+            "tasks": task_log,
         }
         self.cache.put(key, table)
         self.flight.resolve(key, (table, meta))
+        qsp.set(cache="miss", shards=len(plan.shards))
         return self._ok(query, tenant, table, "miss", t0, queued_s, meta)
 
     async def _run_task(
-        self, plan: QueryPlan, task: ShardTask, frag: dict
+        self, plan: QueryPlan, task: ShardTask, frag: dict,
+        task_log: list[dict] | None = None,
     ) -> Table:
         """Execute one shard task, going through the fragment cache when
         the task is fragment-eligible (``full``/``aligned`` coverage).
@@ -265,6 +316,23 @@ class QueryService:
         generation identity, so a post-``compact()`` shard can never be
         served a stale fragment.
         """
+        t0 = time.perf_counter()
+        with trace.span("serve.task", shard=task.index,
+                        coverage=task.coverage) as sp:
+            table, source = await self._run_task_inner(plan, task, frag)
+            sp.set(source=source)
+        if task_log is not None:
+            task_log.append({
+                "shard": task.index,
+                "coverage": task.coverage,
+                "source": source,
+                "s": round(time.perf_counter() - t0, 6),
+            })
+        return table
+
+    async def _run_task_inner(
+        self, plan: QueryPlan, task: ShardTask, frag: dict
+    ) -> tuple[Table, str]:
         loop = asyncio.get_running_loop()
         if task.coverage in ("full", "aligned"):
             frag[task.coverage] += 1
@@ -272,19 +340,25 @@ class QueryService:
             frag["partial"] += 1
         key = task.fragment_key if self.fragments_enabled else None
         if key is None:
-            return await loop.run_in_executor(self._pool, plan.run_task, task)
+            table = await self._in_pool(
+                "serve.task.exec", plan.run_task, task, shard=task.index
+            )
+            return table, "direct"
         fragment = self.fragments.get(key)
         if fragment is not None:
             frag["hits"] += 1
+            source = "hit"
         elif (fut := self._frag_flights.get(key)) is not None:
             fragment = await asyncio.shield(fut)
             frag["shared"] += 1
+            source = "shared"
         else:
             fut = loop.create_future()
             self._frag_flights[key] = fut
             try:
-                fragment = await loop.run_in_executor(
-                    self._pool, plan.run_fragment, task.index
+                fragment = await self._in_pool(
+                    "serve.task.exec", plan.run_fragment, task.index,
+                    shard=task.index,
                 )
             except BaseException as err:
                 self._frag_flights.pop(key, None)
@@ -297,9 +371,10 @@ class QueryService:
             if not fut.done():
                 fut.set_result(fragment)
             frag["misses"] += 1
+            source = "miss"
         if task.coverage == "aligned":
-            return plan.slice_fragment(fragment, task.lo, task.hi)
-        return fragment
+            return plan.slice_fragment(fragment, task.lo, task.hi), source
+        return fragment, source
 
     def _ok(
         self,
@@ -349,6 +424,27 @@ class QueryService:
                               "pruned": meta["pruned"]}
             if fragments is not None:
                 resp["fragments"] = dict(fragments)
+        if (
+            self.slow_log is not None
+            and elapsed >= self.config.slow_query_s
+        ):
+            self.slow_log.emit(
+                "slow_query",
+                fingerprint=query.fingerprint(),
+                tenant=tenant,
+                cache=cache,
+                level=query.level,
+                rows=table.n_rows,
+                elapsed_s=round(elapsed, 6),
+                queued_s=round(queued_s, 6),
+                exec_s=round(meta["exec_s"], 6) if executed else None,
+                shards=(
+                    {"scanned": meta["scanned"], "pruned": meta["pruned"]}
+                    if executed else None
+                ),
+                fragments=dict(fragments) if fragments else None,
+                tasks=meta.get("tasks") if executed else None,
+            )
         return resp
 
     def snapshot(self) -> dict:
@@ -374,6 +470,17 @@ class QueryService:
             "name": self.dataset.name,
             "partitions": self.dataset.n_partitions,
             "rows": self.dataset.n_rows,
+        }
+        out["obs"] = {
+            "tracing": trace.is_enabled(),
+            "trace_file": trace.trace_path(),
+            "slow_query_s": self.config.slow_query_s,
+            "slow_query_log": (
+                None if self.slow_log is None else self.slow_log.path
+            ),
+            "slow_queries": (
+                0 if self.slow_log is None else self.slow_log.written
+            ),
         }
         return out
 
@@ -430,23 +537,7 @@ class TelemetryServer:
                 line = await reader.readline()
                 if not line:
                     break
-                resp = await self._dispatch(line)
-                table = resp.get("table")
-                if (
-                    isinstance(table, Table)
-                    and table.nbytes()
-                    >= self.service.config.encode_offload_bytes
-                ):
-                    # big results: wire conversion + JSON encoding would
-                    # stall the event loop for milliseconds per response
-                    # (convoying every other connection) — do it on the
-                    # worker pool instead
-                    self.service.stats.encode_offloads += 1
-                    payload = await asyncio.get_running_loop().run_in_executor(
-                        self.service._pool, self._encode, resp
-                    )
-                else:
-                    payload = self._encode(resp)
+                payload = await self._respond(line)
                 writer.write(payload)
                 await writer.drain()
         except (ConnectionResetError, BrokenPipeError):
@@ -458,21 +549,61 @@ class TelemetryServer:
             except (ConnectionResetError, BrokenPipeError):
                 pass
 
-    async def _dispatch(self, line: bytes) -> dict:
+    async def _respond(self, line: bytes) -> bytes:
+        """Dispatch one request line and return its encoded response.
+
+        When the request envelope carries a ``trace`` context (a client
+        with tracing on), the whole server side — accept, admission,
+        plan, shard fan-out, merge, encode — hangs under a
+        ``serve.request`` span parented to the client's span, so one
+        trace file tells the full cross-process story.
+        """
         try:
             req = json.loads(line)
         except json.JSONDecodeError as err:
-            return {"status": "error", "error": f"bad JSON request: {err}"}
+            return self._encode(
+                {"status": "error", "error": f"bad JSON request: {err}"}
+            )
         if not isinstance(req, dict):
-            return {"status": "error", "error": "request must be an object"}
+            return self._encode(
+                {"status": "error", "error": "request must be an object"}
+            )
         op = req.get("op", "query")
+        raw_ctx = req.get("trace")
+        ctx = (
+            trace.SpanContext.from_dict(raw_ctx)
+            if isinstance(raw_ctx, dict) else None
+        )
+        with trace.span("serve.request", _parent=ctx, op=op) as sp:
+            resp = await self._dispatch_op(op, req)
+            sp.set(status=resp.get("status"))
+            table = resp.get("table")
+            if (
+                isinstance(table, Table)
+                and table.nbytes()
+                >= self.service.config.encode_offload_bytes
+            ):
+                # big results: wire conversion + JSON encoding would
+                # stall the event loop for milliseconds per response
+                # (convoying every other connection) — do it on the
+                # worker pool instead
+                self.service.stats.encode_offloads += 1
+                payload = await self.service._in_pool(
+                    "serve.encode", self._encode, resp, offloaded=True
+                )
+            else:
+                with trace.span("serve.encode", offloaded=False):
+                    payload = self._encode(resp)
+        return payload
+
+    async def _dispatch_op(self, op: str, req: dict) -> dict:
         if op == "ping":
             return {"status": "ok", "op": "ping"}
         if op == "stats":
             return {"status": "ok", "op": "stats",
                     "stats": self.service.snapshot()}
         if op == "query":
-            # the table stays live here; _handle's encode step (possibly
+            # the table stays live here; _respond's encode step (possibly
             # on the worker pool) converts it to wire form
             return dict(
                 await self.service.query(
@@ -480,6 +611,17 @@ class TelemetryServer:
                 )
             )
         return {"status": "error", "error": f"unknown op {op!r}"}
+
+    async def _dispatch(self, line: bytes) -> dict:
+        """Parse and dispatch one request line (kept for in-process use
+        and tests; the connection handler goes through :meth:`_respond`)."""
+        try:
+            req = json.loads(line)
+        except json.JSONDecodeError as err:
+            return {"status": "error", "error": f"bad JSON request: {err}"}
+        if not isinstance(req, dict):
+            return {"status": "error", "error": "request must be an object"}
+        return await self._dispatch_op(req.get("op", "query"), req)
 
     @staticmethod
     def _encode(resp: dict) -> bytes:

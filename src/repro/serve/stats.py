@@ -5,15 +5,28 @@ gets asked: how many queries, how many served from cache, what do p50/p99
 look like, who is being throttled.  Latencies are kept in a bounded
 reservoir (the most recent ``capacity`` samples), so a long-running server
 reports *current* tail behavior, not a year-long average.
+
+Re-based on :class:`~repro.obs.metrics.MetricsRegistry`: every counter is
+a registry metric in a per-instance registry (two services in one process
+never share numbers), and latencies are mirrored into registry histograms
+(``serve.latency`` etc.) so the unified metrics snapshot carries the
+distribution without samples.  All mutation and the ``snapshot()`` /
+``report()`` reads take one lock — a snapshot is a consistent point in
+time even when worker-pool callbacks land concurrently (the invariant
+``queries == ok + rejected + errors`` holds in *every* snapshot, hammered
+by ``tests/obs/test_service_stats_atomic.py``).  Output shapes are pinned
+pre-re-base by ``tests/obs/test_stats_compat.py``.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import deque
 
 import numpy as np
 
 from repro.core.report import render_table
+from repro.obs.metrics import MetricsRegistry
 from repro.serve.session import Admission
 
 __all__ = ["LatencyReservoir", "ServiceStats"]
@@ -54,31 +67,66 @@ class LatencyReservoir:
         return float(np.mean(np.fromiter(self._samples, float)))
 
 
+class _CounterField:
+    """Maps ``stats.<attr>`` onto the registry counter ``serve.<attr>``
+    so call sites keep mutating plain attributes (``stats.encode_offloads
+    += 1``).  Reads and writes go through the instance lock — attribute
+    mutation stays safe from any thread."""
+
+    __slots__ = ("attr",)
+
+    def __set_name__(self, owner, attr):
+        self.attr = attr
+
+    def __get__(self, obj, objtype=None):
+        if obj is None:
+            return self
+        with obj._lock:
+            return obj._metric(self.attr).value
+
+    def __set__(self, obj, value):
+        with obj._lock:
+            obj._metric(self.attr).value = value
+
+
 class ServiceStats:
     """Aggregated counters for one :class:`~repro.serve.server.QueryService`."""
 
+    COUNTERS = (
+        "queries", "ok", "rejected", "errors", "cache_hits", "cache_shared",
+        "executed", "rows_served", "shards_scanned", "shards_pruned",
+        "frag_hits", "frag_shared", "frag_misses",
+        "tasks_full", "tasks_aligned", "tasks_partial", "encode_offloads",
+    )
+
+    queries = _CounterField()
+    ok = _CounterField()
+    rejected = _CounterField()
+    errors = _CounterField()
+    cache_hits = _CounterField()
+    cache_shared = _CounterField()   # single-flight followers
+    executed = _CounterField()       # plans that actually ran shard tasks
+    rows_served = _CounterField()
+    shards_scanned = _CounterField()
+    shards_pruned = _CounterField()
+    # fragment-cache accounting (executed queries only)
+    frag_hits = _CounterField()      # tasks served straight from the cache
+    frag_shared = _CounterField()    # tasks that joined another query's compute
+    frag_misses = _CounterField()    # tasks that computed (and cached) a fragment
+    tasks_full = _CounterField()     # shard fully covered -> fragment as-is
+    tasks_aligned = _CounterField()  # grid-aligned partial -> fragment slice
+    tasks_partial = _CounterField()  # unaligned partial -> direct, uncached
+    encode_offloads = _CounterField()  # large NDJSON encodes moved off the loop
+
     def __init__(self):
-        self.queries = 0
-        self.ok = 0
-        self.rejected = 0
-        self.errors = 0
-        self.cache_hits = 0
-        self.cache_shared = 0   # single-flight followers
-        self.executed = 0       # plans that actually ran shard tasks
-        self.rows_served = 0
-        self.shards_scanned = 0
-        self.shards_pruned = 0
-        # fragment-cache accounting (executed queries only)
-        self.frag_hits = 0      # tasks served straight from the cache
-        self.frag_shared = 0    # tasks that joined another query's compute
-        self.frag_misses = 0    # tasks that computed (and cached) a fragment
-        self.tasks_full = 0     # shard fully covered -> fragment as-is
-        self.tasks_aligned = 0  # grid-aligned partial -> fragment slice
-        self.tasks_partial = 0  # unaligned partial -> direct, uncached
-        self.encode_offloads = 0  # large NDJSON encodes moved off the loop
+        self._lock = threading.RLock()
+        self.registry = MetricsRegistry()
         self.fanout = LatencyReservoir()  # shards scanned per executed query
         self.latency = LatencyReservoir()
         self.exec_latency = LatencyReservoir()
+
+    def _metric(self, attr: str):
+        return self.registry.counter(f"serve.{attr}")
 
     # ---------------- recording ----------------
 
@@ -93,155 +141,174 @@ class ServiceStats:
         executed_s: float | None = None,
         fragments: dict | None = None,
     ) -> None:
-        self.queries += 1
-        self.ok += 1
-        self.rows_served += rows
-        self.latency.add(elapsed_s)
-        if cache == "hit":
-            self.cache_hits += 1
-        elif cache == "shared":
-            self.cache_shared += 1
-        else:
-            self.executed += 1
-            self.shards_scanned += shards_scanned
-            self.shards_pruned += shards_pruned
-            self.fanout.add(float(shards_scanned))
-            if executed_s is not None:
-                self.exec_latency.add(executed_s)
-            if fragments:
-                self.frag_hits += fragments.get("hits", 0)
-                self.frag_shared += fragments.get("shared", 0)
-                self.frag_misses += fragments.get("misses", 0)
-                self.tasks_full += fragments.get("full", 0)
-                self.tasks_aligned += fragments.get("aligned", 0)
-                self.tasks_partial += fragments.get("partial", 0)
+        with self._lock:
+            c = self.registry.counter
+            c("serve.queries").inc()
+            c("serve.ok").inc()
+            c("serve.rows_served").inc(rows)
+            self.latency.add(elapsed_s)
+            self.registry.histogram("serve.latency").observe(elapsed_s)
+            if cache == "hit":
+                c("serve.cache_hits").inc()
+            elif cache == "shared":
+                c("serve.cache_shared").inc()
+            else:
+                c("serve.executed").inc()
+                c("serve.shards_scanned").inc(shards_scanned)
+                c("serve.shards_pruned").inc(shards_pruned)
+                self.fanout.add(float(shards_scanned))
+                if executed_s is not None:
+                    self.exec_latency.add(executed_s)
+                    self.registry.histogram("serve.exec_latency").observe(
+                        executed_s)
+                if fragments:
+                    c("serve.frag_hits").inc(fragments.get("hits", 0))
+                    c("serve.frag_shared").inc(fragments.get("shared", 0))
+                    c("serve.frag_misses").inc(fragments.get("misses", 0))
+                    c("serve.tasks_full").inc(fragments.get("full", 0))
+                    c("serve.tasks_aligned").inc(fragments.get("aligned", 0))
+                    c("serve.tasks_partial").inc(fragments.get("partial", 0))
 
     def record_rejected(self) -> None:
-        self.queries += 1
-        self.rejected += 1
+        with self._lock:
+            self.registry.counter("serve.queries").inc()
+            self.registry.counter("serve.rejected").inc()
 
     def record_error(self) -> None:
-        self.queries += 1
-        self.errors += 1
+        with self._lock:
+            self.registry.counter("serve.queries").inc()
+            self.registry.counter("serve.errors").inc()
 
     # ---------------- views ----------------
 
     @property
     def cache_hit_ratio(self) -> float:
         """Served-without-executing fraction (hits + shared) of OK queries."""
-        if not self.ok:
-            return 0.0
-        return (self.cache_hits + self.cache_shared) / self.ok
+        with self._lock:
+            if not self.ok:
+                return 0.0
+            return (self.cache_hits + self.cache_shared) / self.ok
 
     @property
     def fragment_hit_ratio(self) -> float:
         """Fraction of fragment-eligible tasks served without computing
         (cache hits + shared flights)."""
-        total = self.frag_hits + self.frag_shared + self.frag_misses
-        if not total:
-            return 0.0
-        return (self.frag_hits + self.frag_shared) / total
+        with self._lock:
+            total = self.frag_hits + self.frag_shared + self.frag_misses
+            if not total:
+                return 0.0
+            return (self.frag_hits + self.frag_shared) / total
 
     @property
     def partial_coverage_ratio(self) -> float:
         """Fraction of kernel tasks that only partially covered their
         shard (aligned slices + unaligned directs) — how ragged query
         edges are against the shard grid."""
-        total = self.tasks_full + self.tasks_aligned + self.tasks_partial
-        if not total:
-            return 0.0
-        return (self.tasks_aligned + self.tasks_partial) / total
+        with self._lock:
+            total = self.tasks_full + self.tasks_aligned + self.tasks_partial
+            if not total:
+                return 0.0
+            return (self.tasks_aligned + self.tasks_partial) / total
 
     def snapshot(self, admission: Admission | None = None) -> dict:
-        """JSON-safe counters (the wire answer to the ``stats`` op)."""
-        out = {
-            "queries": self.queries,
-            "ok": self.ok,
-            "rejected": self.rejected,
-            "errors": self.errors,
-            "cache_hits": self.cache_hits,
-            "cache_shared": self.cache_shared,
-            "executed": self.executed,
-            "rows_served": self.rows_served,
-            "shards_scanned": self.shards_scanned,
-            "shards_pruned": self.shards_pruned,
-            "frag_hits": self.frag_hits,
-            "frag_shared": self.frag_shared,
-            "frag_misses": self.frag_misses,
-            "tasks_full": self.tasks_full,
-            "tasks_aligned": self.tasks_aligned,
-            "tasks_partial": self.tasks_partial,
-            "fragment_hit_ratio": round(self.fragment_hit_ratio, 4),
-            "partial_coverage_ratio": round(self.partial_coverage_ratio, 4),
-            "fanout_mean": round(self.fanout.mean, 2)
-            if len(self.fanout) else 0.0,
-            "encode_offloads": self.encode_offloads,
-            "p50_ms": round(self.latency.p50 * 1e3, 3),
-            "p99_ms": round(self.latency.p99 * 1e3, 3),
-        }
-        if admission is not None:
-            out["running"] = admission.running
-            out["queued"] = admission.waiting
-            out["rejected_capacity"] = admission.rejected_capacity
-            out["rejected_quota"] = admission.rejected_quota
-            out["tenants"] = {
-                name: {
-                    "queries": t.queries,
-                    "ok": t.ok,
-                    "rejected": t.rejected,
-                    "queued": t.queued,
-                    "cache_hits": t.cache_hits,
-                    "frag_hits": t.frag_hits,
-                    "shards_scanned": t.shards_scanned,
-                    "rows_served": t.rows_served,
-                }
-                for name, t in sorted(admission.tenants.items())
+        """JSON-safe counters (the wire answer to the ``stats`` op).
+
+        Taken under the stats lock, so the numbers are one consistent
+        point in time: ``queries == ok + rejected + errors`` in every
+        snapshot however many threads are recording.
+        """
+        with self._lock:
+            out = {
+                "queries": self.queries,
+                "ok": self.ok,
+                "rejected": self.rejected,
+                "errors": self.errors,
+                "cache_hits": self.cache_hits,
+                "cache_shared": self.cache_shared,
+                "executed": self.executed,
+                "rows_served": self.rows_served,
+                "shards_scanned": self.shards_scanned,
+                "shards_pruned": self.shards_pruned,
+                "frag_hits": self.frag_hits,
+                "frag_shared": self.frag_shared,
+                "frag_misses": self.frag_misses,
+                "tasks_full": self.tasks_full,
+                "tasks_aligned": self.tasks_aligned,
+                "tasks_partial": self.tasks_partial,
+                "fragment_hit_ratio": round(self.fragment_hit_ratio, 4),
+                "partial_coverage_ratio": round(self.partial_coverage_ratio, 4),
+                "fanout_mean": round(self.fanout.mean, 2)
+                if len(self.fanout) else 0.0,
+                "encode_offloads": self.encode_offloads,
+                "p50_ms": round(self.latency.p50 * 1e3, 3),
+                "p99_ms": round(self.latency.p99 * 1e3, 3),
             }
-        return out
+            if admission is not None:
+                out["running"] = admission.running
+                out["queued"] = admission.waiting
+                out["rejected_capacity"] = admission.rejected_capacity
+                out["rejected_quota"] = admission.rejected_quota
+                out["tenants"] = {
+                    name: {
+                        "queries": t.queries,
+                        "ok": t.ok,
+                        "rejected": t.rejected,
+                        "queued": t.queued,
+                        "cache_hits": t.cache_hits,
+                        "frag_hits": t.frag_hits,
+                        "shards_scanned": t.shards_scanned,
+                        "rows_served": t.rows_served,
+                    }
+                    for name, t in sorted(admission.tenants.items())
+                }
+            return out
 
     def report(self, admission: Admission | None = None) -> str:
         """Rendered counter tables (the ``serve`` CLI's exit summary)."""
         def ms(v: float) -> str:
             return "-" if np.isnan(v) else f"{v * 1e3:.1f}"
 
-        rows = [
-            ["queries", self.queries],
-            ["ok / rejected / errors",
-             f"{self.ok} / {self.rejected} / {self.errors}"],
-            ["cache hits / shared / executed",
-             f"{self.cache_hits} / {self.cache_shared} / {self.executed}"],
-            ["rows served", f"{self.rows_served:,}"],
-            ["shards scanned / pruned",
-             f"{self.shards_scanned} / {self.shards_pruned}"],
-            ["fragments hit / shared / computed",
-             f"{self.frag_hits} / {self.frag_shared} / {self.frag_misses}"],
-            ["fragment hit ratio", f"{self.fragment_hit_ratio:.2f}"],
-            ["tasks full / aligned / partial",
-             f"{self.tasks_full} / {self.tasks_aligned} / "
-             f"{self.tasks_partial}"],
-            ["partial-coverage ratio",
-             f"{self.partial_coverage_ratio:.2f}"],
-            ["shard fan-out mean / p99",
-             "-" if not len(self.fanout)
-             else f"{self.fanout.mean:.1f} / {self.fanout.p99:.0f}"],
-            ["encode offloads", self.encode_offloads],
-            ["latency p50 / p99 (ms)",
-             f"{ms(self.latency.p50)} / {ms(self.latency.p99)}"],
-            ["exec p50 / p99 (ms)",
-             f"{ms(self.exec_latency.p50)} / {ms(self.exec_latency.p99)}"],
-        ]
-        text = render_table(["counter", "value"], rows, title="query service")
-        if admission is None or not admission.tenants:
-            return text
-        tenant_rows = [
-            [t.name, t.queries, t.ok, t.rejected, t.queued, t.cache_hits,
-             t.frag_hits, t.shards_scanned,
-             f"{t.rows_served:,}", f"{t.wall_s:.3f}"]
-            for t in sorted(admission.tenants.values(), key=lambda t: t.name)
-        ]
-        return text + "\n" + render_table(
-            ["tenant", "queries", "ok", "rejected", "queued", "hits",
-             "frags", "shards", "rows", "seconds"],
-            tenant_rows,
-            title="tenants",
-        )
+        with self._lock:
+            rows = [
+                ["queries", self.queries],
+                ["ok / rejected / errors",
+                 f"{self.ok} / {self.rejected} / {self.errors}"],
+                ["cache hits / shared / executed",
+                 f"{self.cache_hits} / {self.cache_shared} / {self.executed}"],
+                ["rows served", f"{self.rows_served:,}"],
+                ["shards scanned / pruned",
+                 f"{self.shards_scanned} / {self.shards_pruned}"],
+                ["fragments hit / shared / computed",
+                 f"{self.frag_hits} / {self.frag_shared} / {self.frag_misses}"],
+                ["fragment hit ratio", f"{self.fragment_hit_ratio:.2f}"],
+                ["tasks full / aligned / partial",
+                 f"{self.tasks_full} / {self.tasks_aligned} / "
+                 f"{self.tasks_partial}"],
+                ["partial-coverage ratio",
+                 f"{self.partial_coverage_ratio:.2f}"],
+                ["shard fan-out mean / p99",
+                 "-" if not len(self.fanout)
+                 else f"{self.fanout.mean:.1f} / {self.fanout.p99:.0f}"],
+                ["encode offloads", self.encode_offloads],
+                ["latency p50 / p99 (ms)",
+                 f"{ms(self.latency.p50)} / {ms(self.latency.p99)}"],
+                ["exec p50 / p99 (ms)",
+                 f"{ms(self.exec_latency.p50)} / {ms(self.exec_latency.p99)}"],
+            ]
+            text = render_table(["counter", "value"], rows,
+                                title="query service")
+            if admission is None or not admission.tenants:
+                return text
+            tenant_rows = [
+                [t.name, t.queries, t.ok, t.rejected, t.queued, t.cache_hits,
+                 t.frag_hits, t.shards_scanned,
+                 f"{t.rows_served:,}", f"{t.wall_s:.3f}"]
+                for t in sorted(admission.tenants.values(),
+                                key=lambda t: t.name)
+            ]
+            return text + "\n" + render_table(
+                ["tenant", "queries", "ok", "rejected", "queued", "hits",
+                 "frags", "shards", "rows", "seconds"],
+                tenant_rows,
+                title="tenants",
+            )

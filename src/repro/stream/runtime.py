@@ -24,6 +24,7 @@ import time as _time
 from collections import deque
 
 from repro.frame.table import Table, concat
+from repro.obs import trace
 from repro.stream.batch import RecordBatch
 from repro.stream.operators import Operator
 from repro.stream.source import TelemetryReplaySource
@@ -214,17 +215,20 @@ class StreamGraph:
         if not self._order:
             raise RuntimeError("graph has no operators; call add() first")
         self._resolve_collect()
-        pulled = 0
-        self._drain()
-        while max_batches is None or pulled < max_batches:
-            batch = self.source.next_batch()
-            if batch is None:
-                break
-            self._ingest(batch)
-            pulled += 1
+        with trace.span("stream.run", nodes=len(self._order)) as sp:
+            pulled = 0
             self._drain()
-        if flush or (flush is None and self.source.exhausted):
-            self._flush()
+            while max_batches is None or pulled < max_batches:
+                batch = self.source.next_batch()
+                if batch is None:
+                    break
+                self._ingest(batch)
+                pulled += 1
+                self._drain()
+            if flush or (flush is None and self.source.exhausted):
+                with trace.span("stream.flush"):
+                    self._flush()
+            sp.set(batches=pulled)
         self._sync_op_counters()
         return self.stats
 

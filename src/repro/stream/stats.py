@@ -6,49 +6,93 @@ and row throughput, wall time, watermark-accounting outcomes (late /
 NaN-dropped rows), backpressure stalls, queue high-water marks, and the
 event-time lag of finalized output.  ``report()`` renders the same style
 of counter table the chunked pipeline prints.
+
+Re-based on :class:`~repro.obs.metrics.MetricsRegistry` (one per
+:class:`StreamStats`): :class:`NodeStats` attributes are views over
+registry counters labeled by node name — ``max_queue`` is a gauge (a
+high-water mark), everything else a counter.  Direct attribute mutation,
+``report()``, and ``state_dict()``/``load_state()`` checkpointing keep
+their exact pre-re-base shapes (pinned by
+``tests/obs/test_stats_compat.py``).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
 from repro.core.report import render_table
+from repro.obs.metrics import MetricsRegistry
 
 
-@dataclass
+class _MetricField:
+    """Maps ``node.<attr>`` onto the registry metric
+    ``stream.<attr>{node=<name>}`` so runtime call sites keep mutating
+    plain attributes."""
+
+    __slots__ = ("attr",)
+
+    def __set_name__(self, owner, attr):
+        self.attr = attr
+
+    def __get__(self, obj, objtype=None):
+        if obj is None:
+            return self
+        return obj._metric(self.attr).value
+
+    def __set__(self, obj, value):
+        obj._metric(self.attr).value = value
+
+
 class NodeStats:
     """Counters for one stream node (the source or an operator)."""
 
-    name: str
-    batches_in: int = 0
-    batches_out: int = 0
-    rows_in: int = 0
-    rows_out: int = 0
-    late_rows: int = 0
-    nan_rows: int = 0
-    stalls: int = 0
-    max_queue: int = 0
-    wall_s: float = 0.0
-    lag_sum_s: float = 0.0
-    lag_n: int = 0
+    FIELDS = ("batches_in", "batches_out", "rows_in", "rows_out",
+              "late_rows", "nan_rows", "stalls", "max_queue", "wall_s",
+              "lag_sum_s", "lag_n")
+    #: gauge-typed fields (level, not sum — merge keeps the max)
+    GAUGES = ("max_queue",)
+
+    batches_in = _MetricField()
+    batches_out = _MetricField()
+    rows_in = _MetricField()
+    rows_out = _MetricField()
+    late_rows = _MetricField()
+    nan_rows = _MetricField()
+    stalls = _MetricField()
+    max_queue = _MetricField()
+    wall_s = _MetricField()
+    lag_sum_s = _MetricField()
+    lag_n = _MetricField()
+
+    def __init__(self, name: str, registry: MetricsRegistry | None = None):
+        self.name = name
+        self._registry = registry if registry is not None else MetricsRegistry()
+
+    def _metric(self, attr: str):
+        if attr in self.GAUGES:
+            return self._registry.gauge(f"stream.{attr}", node=self.name)
+        return self._registry.counter(f"stream.{attr}", node=self.name)
 
     @property
     def mean_lag_s(self) -> float:
         """Mean event-time lag of finalized output (arrival - window end)."""
         return self.lag_sum_s / self.lag_n if self.lag_n else 0.0
 
+    def __repr__(self) -> str:
+        fields = ", ".join(f"{k}={getattr(self, k)!r}" for k in self.FIELDS)
+        return f"NodeStats(name={self.name!r}, {fields})"
 
-@dataclass
+
 class StreamStats:
     """Aggregated per-node counters for one streaming run."""
 
-    nodes: dict[str, NodeStats] = field(default_factory=dict)
+    def __init__(self):
+        self.registry = MetricsRegistry()
+        self.nodes: dict[str, NodeStats] = {}
 
     def node(self, name: str) -> NodeStats:
         """The (auto-created) stats record for ``name``."""
         st = self.nodes.get(name)
         if st is None:
-            st = self.nodes[name] = NodeStats(name)
+            st = self.nodes[name] = NodeStats(name, self.registry)
         return st
 
     # ---------------- roll-ups ----------------
@@ -92,12 +136,7 @@ class StreamStats:
 
     def state_dict(self) -> dict:
         return {
-            name: {
-                k: getattr(st, k)
-                for k in ("batches_in", "batches_out", "rows_in", "rows_out",
-                          "late_rows", "nan_rows", "stalls", "max_queue",
-                          "wall_s", "lag_sum_s", "lag_n")
-            }
+            name: {k: getattr(st, k) for k in NodeStats.FIELDS}
             for name, st in self.nodes.items()
         }
 

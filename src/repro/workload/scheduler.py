@@ -44,6 +44,8 @@ import numpy as np
 
 from repro.config import SummitConfig, SUMMIT
 from repro.frame.table import Table
+from repro.obs import trace
+from repro.obs.metrics import REGISTRY
 from repro.workload.jobs import JobCatalog
 
 _ENGINES = ("event", "reference")
@@ -225,10 +227,28 @@ class Scheduler:
 
     def run(self, catalog: JobCatalog, horizon_s: float) -> ScheduleResult:
         """Schedule every catalog job; jobs still pending at ``horizon_s``
-        are dropped (they would run in the next year)."""
-        if self.engine == "reference":
-            return self._run_reference(catalog, horizon_s)
-        return self._run_event(catalog, horizon_s)
+        are dropped (they would run in the next year).
+
+        Besides ``last_run_stats``, the op counters publish into the
+        process-wide :data:`repro.obs.metrics.REGISTRY` (labelled by
+        engine), so a co-simulation driver sees scheduler work alongside
+        every other subsystem's metrics.
+        """
+        with trace.span("sched.run", engine=self.engine,
+                        jobs=catalog.n_jobs, horizon_s=horizon_s) as sp:
+            if self.engine == "reference":
+                result = self._run_reference(catalog, horizon_s)
+            else:
+                result = self._run_event(catalog, horizon_s)
+            sp.set(**self.last_run_stats)
+        for key, value in self.last_run_stats.items():
+            if key == "max_pending":
+                gauge = REGISTRY.gauge(f"sched.{key}", engine=self.engine)
+                if value > gauge.value:
+                    gauge.set(value)
+            else:
+                REGISTRY.counter(f"sched.{key}", engine=self.engine).inc(value)
+        return result
 
     # ---------------- event-driven core ----------------
 

@@ -1,0 +1,139 @@
+"""Unit tests for the repro.obs metrics registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import (REGISTRY, Counter, Gauge, Histogram,
+                               MetricsRegistry, snapshot_delta)
+
+
+def test_counter_inc_and_merge():
+    c = Counter()
+    c.inc()
+    c.inc(4)
+    assert c.value == 5
+    c.merge(3)
+    assert c.value == 8
+
+
+def test_gauge_set_and_merge_keeps_max():
+    g = Gauge()
+    g.set(7)
+    g.set(3)
+    assert g.value == 3
+    g.merge(5)
+    assert g.value == 5
+    g.merge(2)
+    assert g.value == 5
+
+
+def test_histogram_quantiles_without_samples():
+    h = Histogram(bounds=(1.0, 2.0, 4.0, 8.0))
+    for v in (0.5, 1.5, 1.5, 3.0, 6.0, 20.0):
+        h.observe(v)
+    assert h.count == 6
+    assert h.sum == pytest.approx(32.5)
+    assert h.min == 0.5
+    assert h.max == 20.0
+    assert h.mean == pytest.approx(32.5 / 6)
+    # quantiles interpolate inside buckets; exact at the ends
+    assert 0.0 <= h.quantile(0.0) <= 1.0
+    assert 1.0 <= h.quantile(0.5) <= 2.0
+    assert h.quantile(1.0) == 20.0
+    assert h.quantile(0.99) <= 20.0
+
+
+def test_histogram_empty():
+    h = Histogram()
+    assert h.quantile(0.5) == 0.0
+    assert h.mean == 0.0
+
+
+def test_histogram_merge_requires_matching_buckets():
+    a, b = Histogram(bounds=(1.0,)), Histogram(bounds=(2.0,))
+    b.observe(0.5)
+    with pytest.raises(ValueError):
+        a.merge(b.state())
+
+
+def test_registry_get_or_create_is_stable():
+    r = MetricsRegistry()
+    assert r.counter("x") is r.counter("x")
+    assert r.counter("x", a=1) is r.counter("x", a=1)
+    assert r.counter("x", a=1) is not r.counter("x", a=2)
+    # label order does not matter
+    assert r.counter("y", a=1, b=2) is r.counter("y", b=2, a=1)
+
+
+def test_registry_snapshot_merge_roundtrip():
+    r = MetricsRegistry()
+    r.counter("queries").inc(5)
+    r.gauge("depth", node="a").set(3)
+    h = r.histogram("lat")
+    h.observe(0.01)
+    h.observe(0.2)
+
+    other = MetricsRegistry()
+    other.merge(r.snapshot())
+    other.merge(r.snapshot())
+    assert other.counter("queries").value == 10
+    assert other.gauge("depth", node="a").value == 3
+    assert other.histogram("lat").count == 4
+
+    # rendered keys are deterministic and sorted
+    snap = r.snapshot()
+    assert list(snap) == sorted(snap)
+    assert "depth{node=a}" in snap
+
+
+def test_registry_merge_kind_mismatch_raises():
+    r = MetricsRegistry()
+    r.counter("m").inc()
+    other = MetricsRegistry()
+    other.gauge("m").set(1)
+    with pytest.raises(ValueError):
+        other.merge(r.snapshot())
+
+
+def test_snapshot_delta_counters_and_histograms():
+    r = MetricsRegistry()
+    r.counter("a").inc(3)
+    h = r.histogram("lat", bounds=(1.0, 2.0))
+    h.observe(0.5)
+    before = r.snapshot()
+
+    r.counter("a").inc(2)
+    r.counter("b").inc(7)
+    r.gauge("g").set(4)
+    h.observe(1.5)
+    after = r.snapshot()
+
+    delta = snapshot_delta(before, after)
+    assert delta["a"]["state"] == 2
+    assert delta["b"]["state"] == 7
+    assert delta["g"]["state"] == 4
+    assert delta["lat"]["state"]["count"] == 1
+    assert delta["lat"]["state"]["buckets"] == [0, 1, 0]
+
+    # merging the delta onto a copy of `before` reproduces `after`'s
+    # counts (histogram min/max deliberately cover a superset)
+    base = MetricsRegistry()
+    base.merge(before)
+    base.merge(delta)
+    assert base.counter("a").value == 5
+    assert base.counter("b").value == 7
+    assert base.histogram("lat", bounds=(1.0, 2.0)).count == 2
+
+
+def test_snapshot_delta_unchanged_metrics_are_dropped():
+    r = MetricsRegistry()
+    r.counter("a").inc(3)
+    snap = r.snapshot()
+    assert snapshot_delta(snap, snap) == {}
+
+
+def test_global_registry_exists():
+    c = REGISTRY.counter("obs.test.probe")
+    c.inc()
+    assert REGISTRY.counter("obs.test.probe").value >= 1

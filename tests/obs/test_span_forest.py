@@ -1,0 +1,155 @@
+"""Property tests: any span nesting reconstructs a well-formed forest.
+
+Satellite of the obs tentpole — whatever shape of nesting the code
+produces (including spans created inside ``Executor`` pool workers and
+re-parented on merge), the recorded trace must rebuild into a forest
+where every child lies within its parent's interval, no span is
+orphaned, and ids are deterministic under both ``fork`` and ``spawn``
+start methods.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.obs import trace
+from repro.obs.export import build_forest, validate_spans
+from repro.parallel.executor import Executor
+
+# a nesting shape: (name index, [child shapes]); small name alphabet so
+# sibling name collisions (seq disambiguation) are exercised constantly
+shapes = st.recursive(
+    st.tuples(st.integers(min_value=0, max_value=2), st.just([])),
+    lambda children: st.tuples(
+        st.integers(min_value=0, max_value=2),
+        st.lists(children, max_size=3),
+    ),
+    max_leaves=12,
+)
+
+NAMES = ("alpha", "beta", "gamma")
+
+
+def _open(shape, counts):
+    name_i, children = shape
+    counts[0] += 1
+    with trace.span(NAMES[name_i]):
+        for child in children:
+            _open(child, counts)
+
+
+class TestInProcessForest:
+    @given(st.lists(shapes, min_size=1, max_size=4))
+    @settings(max_examples=60, deadline=None)
+    def test_any_nesting_rebuilds_well_formed(self, forest_shapes):
+        trace.enable(None)
+        counts = [0]
+        with trace.capture() as records:
+            for shape in forest_shapes:
+                _open(shape, counts)
+        trace.disable()
+
+        assert len(records) == counts[0]
+        forest = validate_spans(records)  # raises on any malformation
+        assert len(forest) == len(forest_shapes)
+
+        def tally(nodes):
+            return len(nodes) + sum(tally(n.children) for n in nodes)
+
+        assert tally(forest) == counts[0]
+
+    @given(st.lists(shapes, min_size=1, max_size=3))
+    @settings(max_examples=30, deadline=None)
+    def test_subtree_ids_deterministic_under_fixed_parent(self, forest_shapes):
+        ctx = trace.SpanContext("trace-x", "parent-x")
+
+        def run():
+            trace.enable(None)
+            with trace.capture() as records:
+                with trace.span("run", _parent=ctx, _seq=0):
+                    for shape in forest_shapes:
+                        _open(shape, [0])
+            trace.disable()
+            return [(r["name"], r["span"], r["parent"]) for r in records]
+
+        first = run()
+        assert first == run()
+        ids = [s for _, s, _ in first]
+        assert len(set(ids)) == len(ids)
+
+
+def _with_synthetic_root(records):
+    """The executor tests hang the tree off a synthetic SpanContext; add
+    the matching root record so forest validation can run (in real use
+    the parent's own process writes that record to the shared file)."""
+    t0 = min(r["ts"] for r in records)
+    t1 = max(r["ts"] + r["dur"] for r in records)
+    return records + [{
+        "name": "root", "trace": "trace-exec", "span": "root-exec",
+        "parent": None, "ts": t0 - 1.0, "dur": (t1 - t0) + 2.0,
+        "pid": 0, "tid": 0, "attrs": {},
+    }]
+
+
+def _traced_work(depth: int) -> int:
+    """Module-level worker (picklable under spawn) that nests spans."""
+    with trace.span("work.outer", depth=depth):
+        for _ in range(depth):
+            with trace.span("work.inner"):
+                pass
+    return depth * 10
+
+
+def _run_executor(backend: str, mp_context: str | None, depths: list[int]):
+    ctx = trace.SpanContext("trace-exec", "root-exec")
+    trace.enable(None)
+    with trace.capture() as records:
+        with trace.span("run", _parent=ctx, _seq=0):
+            ex = Executor(backend=backend, max_workers=2,
+                          mp_context=mp_context)
+            out = ex.map(_traced_work, depths, label="prop")
+    trace.disable()
+    assert out == [d * 10 for d in depths]
+    return records
+
+
+class TestCrossProcessForest:
+    @given(st.lists(st.integers(min_value=0, max_value=3),
+                    min_size=2, max_size=5))
+    @settings(max_examples=10, deadline=None)
+    def test_worker_spans_rebuild_and_match_serial(self, depths):
+        # serial execution is the oracle: the pool backends must produce
+        # the exact same span ids and parent links, however workers
+        # interleave (only timings may differ)
+        def shape(records):
+            return sorted((r["name"], r["span"], r["parent"])
+                          for r in records)
+
+        serial = _run_executor("serial", None, depths)
+        threads = _run_executor("threads", None, depths)
+        assert shape(threads) == shape(serial)
+        forest = validate_spans(_with_synthetic_root(threads))
+        assert len(forest) == 1  # everything under the synthetic root
+
+    def test_fork_and_spawn_identical_ids(self):
+        depths = [2, 0, 3, 1]
+
+        def shape(records):
+            return sorted((r["name"], r["span"], r["parent"])
+                          for r in records)
+
+        serial = shape(_run_executor("serial", None, depths))
+        fork = shape(_run_executor("processes", "fork", depths))
+        spawn = shape(_run_executor("processes", "spawn", depths))
+        assert fork == spawn == serial
+
+    def test_process_forest_children_within_parent_intervals(self):
+        records = _run_executor("processes", "fork", [1, 2, 3])
+        forest = validate_spans(_with_synthetic_root(records))
+        (synthetic,) = forest
+        (root,) = synthetic.children
+        (emap,) = root.children
+        assert emap.name == "executor.map"
+        assert [c.name for c in emap.children] == ["executor.task"] * 3
+        for task in emap.children:
+            assert [c.name for c in task.children] == ["work.outer"]

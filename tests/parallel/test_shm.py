@@ -112,6 +112,35 @@ class TestRoundTrip:
             assert np.array_equal(out[c], t[c])
 
 
+class TestTransportMetrics:
+    def test_wrap_paths_counted(self):
+        from repro.obs.metrics import REGISTRY
+
+        t = big_table()
+        small = Table({"x": np.arange(4)})
+        seg = REGISTRY.counter("shm.items", transport="segment")
+        pik = REGISTRY.counter("shm.items", transport="pickle")
+        out_bytes = REGISTRY.counter("shm.bytes_out")
+        in_bytes = REGISTRY.counter("shm.bytes_in")
+        seg0, pik0 = seg.value, pik.value
+        out0, in0 = out_bytes.value, in_bytes.value
+
+        owned: list = []
+        try:
+            wrapped = wrap_item(t, owned)
+            assert isinstance(wrapped, SharedTableRef)
+            assert wrap_item(small, owned) is small
+        finally:
+            for s in owned:
+                release(s)
+        assert seg.value == seg0 + 1
+        assert pik.value == pik0 + 1
+        assert out_bytes.value == out0 + t.nbytes()
+
+        unwrap_result(wrap_result(t))
+        assert in_bytes.value == in0 + t.nbytes()
+
+
 class TestExecutorIntegration:
     def test_processes_match_serial(self):
         items = [big_table(seed) for seed in range(4)]

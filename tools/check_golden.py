@@ -109,6 +109,10 @@ SPECS: dict[str, list] = {
         # ratio value is box-dependent; assert the pin line + budget only
         Exact("process overhead pinned",
               r"processes/threads ratio: [\d.]+x (\(budget [\d.]+x\))"),
+        # the % is box-dependent; pin the anchor line + its 1% budget
+        Exact("tracing overhead pinned",
+              r"tracing-disabled overhead: [\d.]+% of hot path over "
+              r"\d+ span calls (\(budget \d+%\))"),
         Exact("kernel table present", r"(?m)^sorted-path\b"),
     ],
     "io_throughput": [
@@ -169,6 +173,10 @@ SPECS: dict[str, list] = {
         Exact("speedup floor pinned",
               r"warm@8 vs cold@1 throughput: [\d.]+x "
               r"(\(must be >= \d+x\))"),
+        # the % is box-dependent; pin the anchor line + its 1% budget
+        Exact("tracing overhead pinned",
+              r"tracing-disabled overhead: [\d.]+% of service phases "
+              r"over \d+ span calls (\(budget \d+%\))"),
     ],
 }
 

@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""Validate a REPRO_TRACE JSONL file (the CI gate for traced smoke runs).
+
+Checks, in order:
+
+1. every line parses and carries the full span-record schema;
+2. the records rebuild into a well-formed forest — unique ids, no
+   orphans, children inside their parent's interval (this is
+   :func:`repro.obs.export.validate_spans`, the same validation the
+   property tests run);
+3. every ``--require-span NAME`` appears at least once — CI uses this to
+   assert a traced query round trip really captured the client span, the
+   server's request/admission/plan spans, the per-shard fan-out, and the
+   merge/encode tail;
+4. ``--require-child PARENT:CHILD`` edges exist somewhere in the forest
+   (e.g. ``serve.request:serve.query`` proves the server re-parented
+   under the client's context rather than starting a fresh root).
+
+Exits non-zero with a message on the first failure; prints a one-line
+summary (and the flame rendering with ``--flame``) on success.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+)
+
+from repro.obs.export import (  # noqa: E402
+    TraceError,
+    build_forest,
+    flame_summary,
+    load_trace,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("file", help="JSONL trace file to validate")
+    parser.add_argument("--require-span", action="append", default=[],
+                        metavar="NAME",
+                        help="fail unless a span with this name exists "
+                             "(repeatable)")
+    parser.add_argument("--require-child", action="append", default=[],
+                        metavar="PARENT:CHILD",
+                        help="fail unless some PARENT span has a direct "
+                             "CHILD span (repeatable)")
+    parser.add_argument("--min-spans", type=int, default=1,
+                        help="fail below this many records (default 1)")
+    parser.add_argument("--flame", action="store_true",
+                        help="print the flame summary on success")
+    args = parser.parse_args(argv)
+
+    try:
+        records = load_trace(args.file)
+    except (OSError, TraceError) as err:
+        print(f"check_trace: FAIL: {err}")
+        return 1
+    if len(records) < args.min_spans:
+        print(f"check_trace: FAIL: {len(records)} spans in {args.file}, "
+              f"need at least {args.min_spans}")
+        return 1
+    try:
+        forest = build_forest(records)
+    except TraceError as err:
+        print(f"check_trace: FAIL: malformed forest: {err}")
+        return 1
+
+    names = {r["name"] for r in records}
+    for required in args.require_span:
+        if required not in names:
+            print(f"check_trace: FAIL: no span named {required!r} "
+                  f"(saw: {', '.join(sorted(names))})")
+            return 1
+
+    edges = set()
+
+    def walk(node):
+        for child in node.children:
+            edges.add((node.name, child.name))
+            walk(child)
+
+    for root in forest:
+        walk(root)
+    for spec in args.require_child:
+        parent, _, child = spec.partition(":")
+        if not child:
+            print(f"check_trace: FAIL: bad --require-child {spec!r} "
+                  f"(expected PARENT:CHILD)")
+            return 1
+        if (parent, child) not in edges:
+            print(f"check_trace: FAIL: no edge {parent!r} -> {child!r} "
+                  f"in the forest")
+            return 1
+
+    print(f"check_trace: OK: {len(records)} spans, {len(forest)} roots, "
+          f"{len(names)} distinct names in {args.file}")
+    if args.flame:
+        print(flame_summary(records))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

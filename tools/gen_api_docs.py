@@ -25,6 +25,7 @@ PACKAGES = [
     "repro.pipeline",
     "repro.stream",
     "repro.serve",
+    "repro.obs",
 ]
 
 
@@ -114,6 +115,29 @@ CLI integration:
 | `python -m repro export ... --telemetry-minutes M` | archive raw telemetry for serving |
 | `python -m repro serve DATASET [--port P] [--max-inflight N] [--cache-mb M]` | run the TCP server |
 | `python -m repro query --port P [--t-begin S --t-end S] [--pue] [--stats]` | one query / the service report |
+""",
+    "repro.obs": """\
+### Observability
+
+`repro.obs` is the zero-dependency observability layer shared by every
+subsystem: structured **tracing** (`trace.span(...)` context managers
+whose parent/child nesting survives process pools and the TCP boundary
+via explicit `SpanContext` propagation), a **metrics registry**
+(counters, gauges, fixed-bucket histograms — the typed backing store
+for the pipeline/serve/stream stats silos), a **sampling profiler**
+(`REPRO_PROFILE=1`), and NDJSON **event logs** (the serve slow-query
+log).  Tracing off is a single branch per call; the benchmarks pin its
+cost below 1% of the hot paths.
+
+Environment and CLI integration:
+
+| knob | meaning |
+|---|---|
+| `REPRO_TRACE=FILE` (or `1` + `REPRO_TRACE_FILE`) | capture spans from any `python -m repro ...` run |
+| `REPRO_PROFILE=1` (or an interval in ms) | print a sampled self-time profile on exit |
+| `python -m repro trace FILE [--depth N] [--chrome OUT]` | flame summary / Chrome `trace_event` export |
+| `python -m repro serve ... --slow-query-ms N --slow-query-log FILE` | NDJSON record per slow query |
+| `python tools/check_trace.py FILE --require-span ... --require-child P:C` | validate a captured trace (CI gate) |
 """,
 }
 
